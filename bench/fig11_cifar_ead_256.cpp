@@ -1,0 +1,7 @@
+// Figure 11: EAD vs the robust CIFAR MagNet with widened auto-encoders.
+#include "ead_ablation_common.hpp"
+int main() {
+  adv::bench::run_ead_ablation_figure("11", adv::core::DatasetId::Cifar,
+                                      adv::core::MagnetVariant::Wide);
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Micro benchmarks (google-benchmark): throughput of the substrate
+// operations that dominate experiment wall-clock — GEMM, conv forward and
+// backward, auto-encoder inference, detector scoring, and single ISTA /
+// plain-GD attack steps (the paper's eq. (4) loop body).
+#include <benchmark/benchmark.h>
+
+#include "attacks/ead.hpp"
+#include "magnet/autoencoder.hpp"
+#include "magnet/detector.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/structural.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace {
+
+using namespace adv;
+
+void BM_TensorAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Tensor a({n}, 1.0f), b({n}, 2.0f);
+  for (auto _ : state) {
+    axpy_inplace(a, 0.5f, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TensorAxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c;
+  fill_normal(a, rng, 0.0f, 1.0f);
+  fill_normal(b, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2d conv(nn::Conv2d::same(16, 32), rng);
+  Tensor x({8, 16, 14, 14});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(nn::Conv2d::same(16, 32), rng);
+  Tensor x({8, 16, 14, 14});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  Tensor g({8, 32, 14, 14});
+  fill_uniform(g, rng, -1.0f, 1.0f);
+  conv.forward(x, false);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+nn::Sequential small_classifier(Rng& rng) {
+  nn::Sequential m;
+  m.emplace<nn::Conv2d>(nn::Conv2d::same(1, 16), rng);
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::MaxPool2d>(2);
+  m.emplace<nn::Flatten>();
+  m.emplace<nn::Linear>(16 * 14 * 14, 10, rng);
+  return m;
+}
+
+void BM_AutoencoderForward(benchmark::State& state) {
+  Rng rng(4);
+  magnet::AutoencoderConfig cfg;
+  cfg.filters = static_cast<std::size_t>(state.range(0));
+  nn::Sequential ae = magnet::build_autoencoder(cfg, rng);
+  Tensor x({16, 1, 28, 28});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = ae.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AutoencoderForward)->Arg(3)->Arg(12);
+
+void BM_DetectorScoring(benchmark::State& state) {
+  Rng rng(5);
+  magnet::AutoencoderConfig cfg;
+  auto ae = std::make_shared<nn::Sequential>(magnet::build_autoencoder(cfg, rng));
+  magnet::ReconstructionDetector det(ae, 2);
+  Tensor x({32, 1, 28, 28});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    auto s = det.scores(x);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_DetectorScoring);
+
+/// One ISTA iteration of EAD (forward + hinge gradient + shrink) vs the
+/// beta = 0 special case — the ablation of the paper's eq. (4) step cost.
+void BM_AttackStep(benchmark::State& state) {
+  const float beta = static_cast<float>(state.range(0)) * 1e-2f;
+  Rng rng(6);
+  nn::Sequential m = small_classifier(rng);
+  Tensor x0({16, 1, 28, 28});
+  fill_uniform(x0, rng, 0.0f, 1.0f);
+  std::vector<int> labels(16, 0);
+  std::vector<float> c(16, 1.0f);
+  Tensor x = x0;
+  Tensor shrunk;
+  for (auto _ : state) {
+    const attacks::HingeEval eval =
+        attacks::eval_untargeted_hinge(m, x, labels, 10.0f);
+    Tensor grad = attacks::hinge_input_gradient(m, eval, labels, 10.0f, c);
+    axpy_inplace(x, -0.01f, grad);
+    attacks::shrink_project(x, x0, beta, shrunk);
+    std::swap(x, shrunk);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_AttackStep)->Arg(0)->Arg(1)->Arg(10);
+
+void BM_ShrinkProject(benchmark::State& state) {
+  Rng rng(7);
+  Tensor z({64, 1, 28, 28}), x0({64, 1, 28, 28}), out;
+  fill_uniform(z, rng, -0.2f, 1.2f);
+  fill_uniform(x0, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    attacks::shrink_project(z, x0, 0.05f, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(z.numel()));
+}
+BENCHMARK(BM_ShrinkProject);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Table VI: CIFAR-10 test accuracy with and without MagNet (D, D+256).
+#include "bench_common.hpp"
+
+using namespace adv;
+
+int main() {
+  core::ModelZoo zoo(core::scale_from_env());
+  const auto id = core::DatasetId::Cifar;
+  std::printf("== Table VI: CIFAR test accuracy (%%) ==\n");
+  std::printf("scale: %s\n", bench::scale_banner(zoo.scale()));
+  std::printf("(paper: without 86.91; with MagNet 83.33 / 83.40)\n\n");
+  const float base = 100.0f * zoo.clean_test_accuracy(id);
+  const auto& ds = zoo.dataset(id);
+  std::printf("%-10s  %-16s  %-14s\n", "variant", "without MagNet",
+              "with MagNet");
+  for (const auto v :
+       {core::MagnetVariant::Default, core::MagnetVariant::Wide}) {
+    auto pipe = core::build_magnet(zoo, id, v);
+    std::printf("%-10s  %-16.2f  %-14.2f\n", core::to_string(v),
+                static_cast<double>(base),
+                static_cast<double>(100.0f * pipe->clean_accuracy(
+                                        ds.test.images, ds.test.labels)));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// defense_schemes: the paper's supplementary ablation in miniature —
+// evaluates one EAD attack batch against every defense configuration
+// (no defense / detector only / reformer only / detector & reformer) at
+// two confidence levels, showing how the two MagNet stages trade off:
+// the reformer handles low-confidence attacks, the detectors handle
+// high-confidence ones, and the mid-confidence "dip" is where EAD wins.
+//
+// Shares the quickstart cache, so it is fast after quickstart has run.
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "core/magnet_factory.hpp"
+#include "core/model_zoo.hpp"
+
+int main() {
+  using namespace adv;
+
+  core::ScaleConfig cfg = core::scale_from_env();
+  cfg.full = false;
+  cfg.train_count = 1500;
+  cfg.val_count = 300;
+  cfg.test_count = 500;
+  cfg.attack_count = 50;
+  cfg.attack_iterations = 80;
+  cfg.binary_search_steps = 3;
+  cfg.cache_dir = cfg.cache_dir / "quickstart";
+  core::ModelZoo zoo(cfg);
+  const auto id = core::DatasetId::Mnist;
+
+  auto pipe = core::build_magnet(zoo, id, core::MagnetVariant::Default);
+  const auto& labels = zoo.attack_set(id).labels;
+
+  const magnet::DefenseScheme schemes[] = {
+      magnet::DefenseScheme::None, magnet::DefenseScheme::DetectorOnly,
+      magnet::DefenseScheme::ReformerOnly, magnet::DefenseScheme::Full};
+
+  std::printf("EAD (beta=0.1, EN rule) vs MagNet defense schemes on "
+              "SynDigits\n\n");
+  std::printf("%-24s", "scheme \\ kappa");
+  const float kappas[] = {0.0f, 8.0f, 15.0f};
+  for (const float k : kappas) std::printf("  k=%-6.0f", k);
+  std::printf("\n");
+
+  for (const auto scheme : schemes) {
+    std::printf("%-24s", magnet::to_string(scheme));
+    for (const float k : kappas) {
+      const auto r = zoo.ead(id, 0.1f, k, attacks::DecisionRule::EN);
+      const auto e =
+          core::evaluate_defense(*pipe, r.adversarial, labels, scheme);
+      std::printf("  %-8.1f", static_cast<double>(100.0f * e.accuracy));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nRead each column top to bottom: the reformer rescues low-kappa\n"
+      "attacks, the detectors catch high-kappa ones, and neither covers\n"
+      "the middle — the paper's central observation about MagNet's gap.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: the full pipeline in one file.
+//
+//   1. Generate a synthetic MNIST-like dataset.
+//   2. Train a CNN classifier and the MagNet auto-encoders.
+//   3. Build + calibrate the default MagNet defense.
+//   4. Craft C&W (L2) and EAD (L1) transfer attacks on the UNDEFENDED
+//      classifier (the oblivious threat model).
+//   5. Evaluate both against MagNet: EAD bypasses, C&W does not.
+//
+// Runs in under a couple of minutes on a laptop CPU. Uses a reduced scale
+// independent of REPRO_SCALE so it always stays snappy.
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "core/magnet_factory.hpp"
+#include "core/model_zoo.hpp"
+
+int main() {
+  using namespace adv;
+
+  core::ScaleConfig cfg = core::scale_from_env();
+  cfg.full = false;
+  cfg.train_count = 1500;
+  cfg.val_count = 300;
+  cfg.test_count = 500;
+  cfg.attack_count = 50;
+  cfg.attack_iterations = 80;
+  cfg.binary_search_steps = 3;
+  cfg.cache_dir = cfg.cache_dir / "quickstart";
+
+  core::ModelZoo zoo(cfg);
+  const auto mnist = core::DatasetId::Mnist;
+
+  std::printf("== quickstart: MagNet vs L1 attacks on SynDigits ==\n");
+  std::printf("clean test accuracy (no defense): %.1f%%\n",
+              100.0f * zoo.clean_test_accuracy(mnist));
+
+  auto pipeline = core::build_magnet(zoo, mnist, core::MagnetVariant::Default);
+  const auto& ds = zoo.dataset(mnist);
+  std::printf("clean test accuracy (with MagNet): %.1f%%\n",
+              100.0f * pipeline->clean_accuracy(ds.test.images,
+                                                ds.test.labels));
+
+  // Mid confidence, where MagNet's reformer no longer fixes attacks and
+  // its detectors do not yet fire (the paper's headline region; on the
+  // synthetic dataset the dip sits near kappa 5-10, see EXPERIMENTS.md).
+  const float kappa = 5.0f;
+  const auto& aset = zoo.attack_set(mnist);
+
+  const attacks::AttackResult cw = zoo.cw(mnist, kappa);
+  const attacks::AttackResult ead =
+      zoo.ead(mnist, 1e-1f, kappa, attacks::DecisionRule::EN);
+
+  std::printf("\nattack success on the UNDEFENDED model (kappa=%.0f):\n",
+              static_cast<double>(kappa));
+  std::printf("  C&W L2          : %5.1f%%  (mean L1 %.2f, L2 %.2f)\n",
+              100.0f * cw.success_rate(), cw.mean_l1_over_success(),
+              cw.mean_l2_over_success());
+  std::printf("  EAD (EN, b=0.1) : %5.1f%%  (mean L1 %.2f, L2 %.2f)\n",
+              100.0f * ead.success_rate(), ead.mean_l1_over_success(),
+              ead.mean_l2_over_success());
+
+  const auto scheme = magnet::DefenseScheme::Full;
+  const core::DefenseEval e_cw =
+      core::evaluate_defense(*pipeline, cw.adversarial, aset.labels, scheme);
+  const core::DefenseEval e_ead =
+      core::evaluate_defense(*pipeline, ead.adversarial, aset.labels, scheme);
+
+  std::printf("\ndefense performance of MagNet (oblivious setting):\n");
+  std::printf("  vs C&W L2       : accuracy %5.1f%%  (detected %4.1f%%)\n",
+              100.0f * e_cw.accuracy, 100.0f * e_cw.detection_rate);
+  std::printf("  vs EAD (L1)     : accuracy %5.1f%%  (detected %4.1f%%)\n",
+              100.0f * e_ead.accuracy, 100.0f * e_ead.detection_rate);
+  std::printf(
+      "\nThe gap above is the paper's headline result in miniature: L1-based\n"
+      "EAD examples evade MagNet more often than pure-L2 C&W examples at the\n"
+      "same confidence. The bench binaries (build/bench/) run the full-size\n"
+      "version of this comparison for every table and figure in the paper.\n");
+  return 0;
+}

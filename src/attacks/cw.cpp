@@ -1,0 +1,20 @@
+#include "attacks/cw.hpp"
+
+namespace adv::attacks {
+
+AttackResult cw_l2_attack(nn::Sequential& model, const Tensor& images,
+                          const std::vector<int>& labels,
+                          const CwL2Config& cfg) {
+  EadConfig ead;
+  ead.beta = 0.0f;  // pure L2: shrinkage becomes plain box projection
+  ead.kappa = cfg.kappa;
+  ead.iterations = cfg.iterations;
+  ead.binary_search_steps = cfg.binary_search_steps;
+  ead.initial_c = cfg.initial_c;
+  ead.learning_rate = cfg.learning_rate;
+  ead.rule = DecisionRule::L2;
+  ead.use_fista = false;
+  return ead_attack(model, images, labels, ead);
+}
+
+}  // namespace adv::attacks

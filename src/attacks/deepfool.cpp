@@ -1,0 +1,110 @@
+#include "attacks/deepfool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace adv::attacks {
+
+AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
+                             const std::vector<int>& labels,
+                             const DeepFoolConfig& cfg) {
+  if (images.dim(0) != labels.size()) {
+    throw std::invalid_argument("deepfool_attack: image/label count mismatch");
+  }
+  const std::size_t n = images.dim(0);
+  const std::size_t row = images.numel() / n;
+
+  Tensor x = images;
+  std::vector<bool> done(n, false);
+
+  for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
+    const Tensor logits = model.forward(x, /*training=*/false);
+    const std::size_t k = logits.dim(1);
+
+    bool any_active = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      if (static_cast<int>(argmax_row(logits, i)) != labels[i]) {
+        done[i] = true;  // already fooled
+      } else {
+        any_active = true;
+      }
+    }
+    if (!any_active) break;
+
+    // Per-class input gradients for the whole batch: K backward passes,
+    // each seeded with one-hot class j. grads[j] has the shape of x.
+    std::vector<Tensor> grads(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      // Re-run forward so layer caches match this backward (backward
+      // consumes caches; grads of a fixed logits layer are independent of
+      // the seed so one forward per backward keeps the contract simple).
+      model.forward(x, /*training=*/false);
+      Tensor seed({n, k});
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!done[i]) seed[i * k + j] = 1.0f;
+      }
+      grads[j] = model.backward(seed);
+    }
+
+    // Standard DeepFool step toward the nearest decision boundary.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      const auto t0 = static_cast<std::size_t>(labels[i]);
+      const float* z = logits.data() + i * k;
+      float best_ratio = std::numeric_limits<float>::infinity();
+      std::size_t best_j = k;  // sentinel
+      float best_fj = 0.0f;
+      double best_wnorm2 = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == t0) continue;
+        const float fj = z[j] - z[t0];
+        double wnorm2 = 0.0;
+        const float* gj = grads[j].data() + i * row;
+        const float* gt = grads[t0].data() + i * row;
+        for (std::size_t d = 0; d < row; ++d) {
+          const double w = static_cast<double>(gj[d]) - gt[d];
+          wnorm2 += w * w;
+        }
+        if (wnorm2 < 1e-20) continue;
+        const float ratio =
+            std::fabs(fj) / static_cast<float>(std::sqrt(wnorm2));
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          best_j = j;
+          best_fj = fj;
+          best_wnorm2 = wnorm2;
+        }
+      }
+      if (best_j == k) continue;  // degenerate gradients; skip this sample
+      const float scale = (1.0f + cfg.overshoot) * std::fabs(best_fj) /
+                          static_cast<float>(best_wnorm2);
+      float* px = x.data() + i * row;
+      const float* gj = grads[best_j].data() + i * row;
+      const float* gt = grads[t0].data() + i * row;
+      for (std::size_t d = 0; d < row; ++d) {
+        px[d] = std::clamp(px[d] + scale * (gj[d] - gt[d]), 0.0f, 1.0f);
+      }
+    }
+  }
+
+  AttackResult result;
+  result.adversarial = x;
+  result.success.assign(n, false);
+  const Tensor logits = model.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.success[i] = static_cast<int>(argmax_row(logits, i)) != labels[i];
+    if (!result.success[i]) {
+      std::copy_n(images.data() + i * row, row,
+                  result.adversarial.data() + i * row);
+    }
+  }
+  fill_distortions(result, images);
+  return result;
+}
+
+}  // namespace adv::attacks

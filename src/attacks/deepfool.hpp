@@ -1,0 +1,19 @@
+// DeepFool (Moosavi-Dezfooli et al., CVPR'16): iterative minimal-L2
+// untargeted attack; another baseline the paper lists among attacks MagNet
+// defends.
+#pragma once
+
+#include "attacks/common.hpp"
+
+namespace adv::attacks {
+
+struct DeepFoolConfig {
+  std::size_t max_iterations = 30;
+  float overshoot = 0.02f;  // eta: multiplicative overshoot per step
+};
+
+AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
+                             const std::vector<int>& labels,
+                             const DeepFoolConfig& cfg);
+
+}  // namespace adv::attacks

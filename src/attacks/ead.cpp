@@ -1,0 +1,185 @@
+#include "attacks/ead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace adv::attacks {
+
+const char* to_string(DecisionRule r) {
+  switch (r) {
+    case DecisionRule::EN: return "EN";
+    case DecisionRule::L1: return "L1";
+    case DecisionRule::L2: return "L2";
+  }
+  return "?";
+}
+
+void shrink_project(const Tensor& z, const Tensor& x0, float beta,
+                    Tensor& out) {
+  if (!z.same_shape(x0)) {
+    throw std::invalid_argument("shrink_project: shape mismatch");
+  }
+  if (!out.same_shape(z)) out = Tensor(z.shape());
+  const float* pz = z.data();
+  const float* p0 = x0.data();
+  float* po = out.data();
+  for (std::size_t i = 0, n = z.numel(); i < n; ++i) {
+    const float diff = pz[i] - p0[i];
+    if (diff > beta) {
+      po[i] = std::min(pz[i] - beta, 1.0f);
+    } else if (diff < -beta) {
+      po[i] = std::max(pz[i] + beta, 0.0f);
+    } else {
+      po[i] = p0[i];
+    }
+  }
+}
+
+namespace {
+
+/// Distortion of one row under a decision rule.
+float rule_distance(DecisionRule rule, float beta, const float* adv,
+                    const float* nat, std::size_t row) {
+  double acc1 = 0.0, acc2 = 0.0;
+  for (std::size_t j = 0; j < row; ++j) {
+    const double d = static_cast<double>(adv[j]) - nat[j];
+    acc1 += std::fabs(d);
+    acc2 += d * d;
+  }
+  switch (rule) {
+    case DecisionRule::EN: return static_cast<float>(beta * acc1 + acc2);
+    case DecisionRule::L1: return static_cast<float>(acc1);
+    case DecisionRule::L2: return static_cast<float>(acc2);
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+std::vector<AttackResult> ead_attack_multi(
+    nn::Sequential& model, const Tensor& images,
+    const std::vector<int>& labels, const EadConfig& cfg,
+    std::span<const DecisionRule> rules) {
+  if (images.rank() == 0 || images.dim(0) != labels.size()) {
+    throw std::invalid_argument("ead_attack: image/label count mismatch");
+  }
+  if (cfg.iterations == 0 || cfg.binary_search_steps == 0) {
+    throw std::invalid_argument(
+        "ead_attack: iterations and search steps must be > 0");
+  }
+  if (rules.empty()) {
+    throw std::invalid_argument("ead_attack_multi: no decision rules");
+  }
+  const std::size_t n = images.dim(0);
+  const std::size_t row = images.numel() / n;
+  const std::size_t nrules = rules.size();
+
+  std::vector<AttackResult> results(nrules);
+  std::vector<std::vector<float>> best_dist(nrules);
+  for (std::size_t r = 0; r < nrules; ++r) {
+    results[r].adversarial = images;  // failed rows stay natural
+    results[r].success.assign(n, false);
+    best_dist[r].assign(n, std::numeric_limits<float>::infinity());
+  }
+
+  std::vector<float> c(n, cfg.initial_c);
+  std::vector<float> lower(n, 0.0f);
+  std::vector<float> upper(n, 1e10f);
+
+  for (std::size_t bs = 0; bs < cfg.binary_search_steps; ++bs) {
+    Tensor x = images;  // current iterate x^(k)
+    Tensor y = images;  // FISTA auxiliary point (== x^(k) for plain ISTA)
+    std::vector<bool> succeeded_this_step(n, false);
+
+    for (std::size_t k = 0; k < cfg.iterations; ++k) {
+      // Square-root polynomial decay of the step size (reference EAD).
+      const float lr = cfg.learning_rate *
+                       std::sqrt(1.0f - static_cast<float>(k) /
+                                            static_cast<float>(cfg.iterations));
+
+      // Gradient of g(y) = c*f(y) + ||y - x0||_2^2 at the (FISTA) point y.
+      HingeEval eval =
+          eval_attack_hinge(model, y, labels, cfg.kappa, cfg.mode);
+      Tensor grad = attack_hinge_input_gradient(model, eval, labels,
+                                                cfg.kappa, c, cfg.mode);
+      {
+        float* g = grad.data();
+        const float* py = y.data();
+        const float* p0 = images.data();
+        for (std::size_t i = 0, m = grad.numel(); i < m; ++i) {
+          g[i] += 2.0f * (py[i] - p0[i]);
+        }
+      }
+
+      // ISTA step: x^(k+1) = S_beta(y - lr * grad) (paper eq. (4)).
+      Tensor z = y;
+      axpy_inplace(z, -lr, grad);
+      Tensor x_new;
+      shrink_project(z, images, cfg.beta, x_new);
+
+      // Candidate bookkeeping on the new iterate under every rule.
+      HingeEval cand =
+          eval_attack_hinge(model, x_new, labels, cfg.kappa, cfg.mode);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!attack_succeeded(cand.margin[i], cfg.kappa)) continue;
+        succeeded_this_step[i] = true;
+        for (std::size_t r = 0; r < nrules; ++r) {
+          const float dist =
+              rule_distance(rules[r], cfg.beta, x_new.data() + i * row,
+                            images.data() + i * row, row);
+          if (dist < best_dist[r][i]) {
+            best_dist[r][i] = dist;
+            results[r].success[i] = true;
+            std::copy_n(x_new.data() + i * row, row,
+                        results[r].adversarial.data() + i * row);
+          }
+        }
+      }
+
+      if (cfg.use_fista) {
+        // y^(k+1) = x^(k+1) + k/(k+3) * (x^(k+1) - x^(k)).
+        const float zeta = static_cast<float>(k) / static_cast<float>(k + 3);
+        y = x_new;
+        const float* pn = x_new.data();
+        const float* pp = x.data();
+        float* py = y.data();
+        for (std::size_t i = 0, m = y.numel(); i < m; ++i) {
+          py[i] += zeta * (pn[i] - pp[i]);
+        }
+      } else {
+        y = x_new;
+      }
+      x = x_new;
+    }
+
+    // Per-image binary search over c (standard C&W/EAD schedule).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (succeeded_this_step[i]) {
+        upper[i] = std::min(upper[i], c[i]);
+        c[i] = 0.5f * (lower[i] + upper[i]);
+      } else {
+        lower[i] = std::max(lower[i], c[i]);
+        c[i] = upper[i] < 1e9f ? 0.5f * (lower[i] + upper[i]) : c[i] * 10.0f;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < nrules; ++r) {
+    fill_distortions(results[r], images);
+  }
+  return results;
+}
+
+AttackResult ead_attack(nn::Sequential& model, const Tensor& images,
+                        const std::vector<int>& labels,
+                        const EadConfig& cfg) {
+  const DecisionRule rules[1] = {cfg.rule};
+  return std::move(
+      ead_attack_multi(model, images, labels, cfg, rules).front());
+}
+
+}  // namespace adv::attacks

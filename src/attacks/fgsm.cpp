@@ -1,0 +1,62 @@
+#include "attacks/fgsm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace adv::attacks {
+
+AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
+                         const std::vector<int>& labels,
+                         const FgsmConfig& cfg) {
+  if (images.dim(0) != labels.size()) {
+    throw std::invalid_argument("fgsm_attack: image/label count mismatch");
+  }
+  if (cfg.iterations == 0) {
+    throw std::invalid_argument("fgsm_attack: iterations must be > 0");
+  }
+  const std::size_t n = images.dim(0);
+  const float step = cfg.epsilon / static_cast<float>(cfg.iterations);
+
+  Tensor x = images;
+  nn::SoftmaxCrossEntropy loss;
+  for (std::size_t k = 0; k < cfg.iterations; ++k) {
+    const Tensor logits = model.forward(x, /*training=*/false);
+    loss.forward(logits, labels);
+    const Tensor grad = model.backward(loss.backward());
+    float* px = x.data();
+    const float* pg = grad.data();
+    const float* p0 = images.data();
+    for (std::size_t i = 0, m = x.numel(); i < m; ++i) {
+      float v = px[i] + step * (pg[i] > 0.0f ? 1.0f
+                                : pg[i] < 0.0f ? -1.0f
+                                               : 0.0f);
+      // Project back into the eps-ball around x0, then into [0,1].
+      v = std::clamp(v, p0[i] - cfg.epsilon, p0[i] + cfg.epsilon);
+      px[i] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+
+  AttackResult result;
+  result.adversarial = x;
+  result.success.assign(n, false);
+  const HingeEval eval = eval_untargeted_hinge(model, x, labels, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.success[i] = eval.margin[i] > 0.0f;  // misclassified
+  }
+  // Keep natural images for failed rows so distortion stats stay honest.
+  const std::size_t row = images.numel() / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!result.success[i]) {
+      std::copy_n(images.data() + i * row, row,
+                  result.adversarial.data() + i * row);
+    }
+  }
+  fill_distortions(result, images);
+  return result;
+}
+
+}  // namespace adv::attacks

@@ -1,0 +1,20 @@
+// FGSM and iterative FGSM (Goodfellow et al.'15; Kurakin et al.'16) —
+// L-infinity baselines the paper cites as attacks MagNet defends.
+#pragma once
+
+#include "attacks/common.hpp"
+
+namespace adv::attacks {
+
+struct FgsmConfig {
+  float epsilon = 0.1f;      // L-inf budget in [0,1] pixel space
+  std::size_t iterations = 1; // 1 = one-shot FGSM; >1 = I-FGSM with step eps/T
+};
+
+/// Untargeted (I-)FGSM: ascend the cross-entropy loss of the true label.
+/// Success means the undefended model misclassifies the result.
+AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
+                         const std::vector<int>& labels,
+                         const FgsmConfig& cfg);
+
+}  // namespace adv::attacks

@@ -1,0 +1,52 @@
+#include "core/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace adv::core {
+
+const char* to_string(DatasetId id) {
+  return id == DatasetId::Mnist ? "mnist" : "cifar";
+}
+
+namespace {
+
+std::vector<float> arange(float lo, float hi, float step) {
+  std::vector<float> out;
+  for (float v = lo; v <= hi + 1e-6f; v += step) out.push_back(v);
+  return out;
+}
+
+}  // namespace
+
+ScaleConfig scale_from_env() {
+  ScaleConfig cfg;
+  const char* scale = std::getenv("REPRO_SCALE");
+  cfg.full = scale && std::string(scale) == "full";
+  if (scale && std::string(scale) != "full" && std::string(scale) != "fast") {
+    throw std::runtime_error("REPRO_SCALE must be 'fast' or 'full'");
+  }
+  cfg.mnist_kappas = {0.0f, 5.0f, 10.0f, 20.0f, 40.0f};
+  cfg.cifar_kappas = {0.0f, 10.0f, 20.0f, 30.0f, 50.0f};
+  if (cfg.full) {
+    cfg.train_count = 8000;
+    cfg.val_count = 1000;
+    cfg.test_count = 2000;
+    cfg.classifier_epochs = 12;
+    cfg.ae_epochs = 60;
+    cfg.attack_count = 1000;
+    cfg.attack_iterations = 1000;
+    cfg.binary_search_steps = 9;
+    cfg.initial_c = 1e-3f;  // paper setting; 9 steps reach large c anyway
+    cfg.wide_filters = 256;
+    cfg.detector_fpr = 0.005f;
+    cfg.mnist_kappas = arange(0.0f, 40.0f, 5.0f);
+    cfg.cifar_kappas = arange(0.0f, 100.0f, 5.0f);
+  }
+  if (const char* dir = std::getenv("REPRO_CACHE_DIR")) {
+    cfg.cache_dir = dir;
+  }
+  return cfg;
+}
+
+}  // namespace adv::core

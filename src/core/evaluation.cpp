@@ -1,0 +1,75 @@
+#include "core/evaluation.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace adv::core {
+
+DefenseEval evaluate_defense(magnet::MagNetPipeline& pipeline,
+                             const Tensor& crafted,
+                             const std::vector<int>& labels,
+                             magnet::DefenseScheme scheme) {
+  if (crafted.dim(0) != labels.size()) {
+    throw std::invalid_argument("evaluate_defense: batch/label mismatch");
+  }
+  const magnet::DefenseOutcome o = pipeline.classify(crafted, scheme);
+  const std::size_t n = labels.size();
+  std::size_t defended = 0, rejected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (o.rejected[i]) {
+      ++rejected;
+      ++defended;
+    } else if (o.predicted[i] == labels[i]) {
+      ++defended;
+    }
+  }
+  DefenseEval e;
+  e.accuracy = static_cast<float>(defended) / static_cast<float>(n);
+  e.detection_rate = static_cast<float>(rejected) / static_cast<float>(n);
+  e.asr = 1.0f - e.accuracy;
+  return e;
+}
+
+void print_curves(const std::string& title,
+                  const std::vector<SweepCurve>& curves) {
+  if (curves.empty()) return;
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-12s", "kappa");
+  for (const auto& c : curves) std::printf("  %-22s", c.name.c_str());
+  std::printf("\n");
+  const std::size_t rows = curves.front().kappas.size();
+  for (const auto& c : curves) {
+    if (c.kappas.size() != rows || c.accuracy_pct.size() != rows) {
+      throw std::invalid_argument("print_curves: ragged curves");
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("%-12g", static_cast<double>(curves.front().kappas[r]));
+    for (const auto& c : curves) {
+      std::printf("  %-22.1f", static_cast<double>(c.accuracy_pct[r]));
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void write_curves_csv(const std::filesystem::path& path,
+                      const std::vector<SweepCurve>& curves) {
+  if (curves.empty()) return;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_curves_csv: cannot open " + path.string());
+  os << "kappa";
+  for (const auto& c : curves) os << "," << c.name;
+  os << "\n";
+  for (std::size_t r = 0; r < curves.front().kappas.size(); ++r) {
+    os << curves.front().kappas[r];
+    for (const auto& c : curves) os << "," << c.accuracy_pct[r];
+    os << "\n";
+  }
+}
+
+}  // namespace adv::core

@@ -1,0 +1,48 @@
+// Oblivious-threat-model evaluation (paper §III-A).
+//
+// Adversarial examples are crafted against the UNDEFENDED classifier (the
+// attack functions in ModelZoo enforce that) and evaluated against the
+// MagNet pipeline. MagNet's "classification accuracy" on a batch of
+// crafted examples is the fraction that are either rejected by a detector
+// or correctly classified after (optional) reforming; the attack success
+// rate is its complement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/common.hpp"
+#include "core/magnet_factory.hpp"
+#include "magnet/pipeline.hpp"
+
+namespace adv::core {
+
+struct DefenseEval {
+  float accuracy = 0.0f;        // detected or correctly classified
+  float detection_rate = 0.0f;  // fraction rejected by some detector
+  float asr = 0.0f;             // 1 - accuracy
+};
+
+/// Evaluates crafted examples against the pipeline under `scheme`.
+/// `labels` are the true labels of the attacked images.
+DefenseEval evaluate_defense(magnet::MagNetPipeline& pipeline,
+                             const Tensor& crafted,
+                             const std::vector<int>& labels,
+                             magnet::DefenseScheme scheme);
+
+/// One curve of a defense-performance figure: accuracy (in %) per kappa.
+struct SweepCurve {
+  std::string name;
+  std::vector<float> kappas;
+  std::vector<float> accuracy_pct;
+};
+
+/// Pretty-prints curves as an aligned kappa-by-curve table.
+void print_curves(const std::string& title,
+                  const std::vector<SweepCurve>& curves);
+
+/// Writes curves as CSV (kappa, <curve names...>) for external plotting.
+void write_curves_csv(const std::filesystem::path& path,
+                      const std::vector<SweepCurve>& curves);
+
+}  // namespace adv::core

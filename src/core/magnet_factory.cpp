@@ -1,0 +1,69 @@
+#include "core/magnet_factory.hpp"
+
+#include <stdexcept>
+
+namespace adv::core {
+
+const char* to_string(MagnetVariant v) {
+  switch (v) {
+    case MagnetVariant::Default: return "D";
+    case MagnetVariant::Jsd: return "D+JSD";
+    case MagnetVariant::Wide: return "D+256";
+    case MagnetVariant::WideJsd: return "D+256+JSD";
+  }
+  return "?";
+}
+
+std::shared_ptr<magnet::MagNetPipeline> build_magnet(
+    ModelZoo& zoo, DatasetId id, MagnetVariant variant,
+    magnet::ReconLoss ae_loss) {
+  using magnet::AeArch;
+  const ScaleConfig& cfg = zoo.scale();
+  const bool wide =
+      variant == MagnetVariant::Wide || variant == MagnetVariant::WideJsd;
+  const bool jsd =
+      variant == MagnetVariant::Jsd || variant == MagnetVariant::WideJsd;
+  const std::size_t filters =
+      wide ? cfg.wide_filters : cfg.default_filters(id);
+
+  auto classifier = zoo.classifier(id);
+  auto pipeline = std::make_shared<magnet::MagNetPipeline>(classifier);
+
+  if (id == DatasetId::Mnist) {
+    auto deep = zoo.autoencoder(id, AeArch::MnistDeep, filters, ae_loss);
+    auto shallow = zoo.autoencoder(id, AeArch::MnistShallow, filters, ae_loss);
+    pipeline->add_detector(
+        std::make_shared<magnet::ReconstructionDetector>(deep, 2));
+    pipeline->add_detector(
+        std::make_shared<magnet::ReconstructionDetector>(shallow, 1));
+    if (jsd) {
+      pipeline->add_detector(
+          std::make_shared<magnet::JsdDetector>(deep, classifier, 10.0f));
+      pipeline->add_detector(
+          std::make_shared<magnet::JsdDetector>(deep, classifier, 40.0f));
+    }
+    pipeline->set_reformer(std::make_shared<magnet::Reformer>(deep));
+  } else {
+    if (variant == MagnetVariant::Jsd || variant == MagnetVariant::WideJsd) {
+      // The paper's CIFAR variants are D and D+256 only; the default CIFAR
+      // MagNet already includes the JSD detectors.
+      throw std::invalid_argument(
+          "build_magnet: CIFAR variants are Default and Wide");
+    }
+    auto ae = zoo.autoencoder(id, AeArch::Cifar, filters, ae_loss);
+    pipeline->add_detector(
+        std::make_shared<magnet::ReconstructionDetector>(ae, 1));
+    pipeline->add_detector(
+        std::make_shared<magnet::ReconstructionDetector>(ae, 2));
+    pipeline->add_detector(
+        std::make_shared<magnet::JsdDetector>(ae, classifier, 10.0f));
+    pipeline->add_detector(
+        std::make_shared<magnet::JsdDetector>(ae, classifier, 40.0f));
+    pipeline->set_reformer(std::make_shared<magnet::Reformer>(ae));
+  }
+
+  pipeline->calibrate(zoo.dataset(id).val.images, cfg.detector_fpr);
+  return pipeline;
+}
+
+}  // namespace adv::core

@@ -1,0 +1,32 @@
+// Builds the paper's MagNet variants on top of ModelZoo artifacts.
+//
+//   MNIST  Default (D):   detectors = {recon-L2 on deep AE, recon-L1 on
+//                          shallow AE}; reformer = deep AE
+//          D+JSD:          + JSD detectors (T = 10, 40)
+//          D+256:          same detectors, AE width raised (paper: 256)
+//          D+256+JSD:      both changes
+//   CIFAR  Default (D):    detectors = {recon-L1, recon-L2, JSD T=10,
+//                          JSD T=40} on the CIFAR AE; reformer = same AE
+//          D+256:          AE width raised
+// All detectors are calibrated on the clean validation split at the
+// configured false-positive rate.
+#pragma once
+
+#include <memory>
+
+#include "core/model_zoo.hpp"
+#include "magnet/pipeline.hpp"
+
+namespace adv::core {
+
+enum class MagnetVariant { Default, Jsd, Wide, WideJsd };
+
+const char* to_string(MagnetVariant v);
+
+/// Builds and calibrates the requested MagNet pipeline. `ae_loss` selects
+/// the auto-encoder reconstruction training loss (paper Figs. 12/13).
+std::shared_ptr<magnet::MagNetPipeline> build_magnet(
+    ModelZoo& zoo, DatasetId id, MagnetVariant variant,
+    magnet::ReconLoss ae_loss = magnet::ReconLoss::Mse);
+
+}  // namespace adv::core

@@ -1,0 +1,97 @@
+// ModelZoo: builds, trains and caches every artifact the experiments
+// share — datasets, classifiers, MagNet auto-encoders, and crafted
+// adversarial examples.
+//
+// Training a classifier or running a 1000-iteration attack sweep is
+// expensive; fifteen bench binaries reproduce overlapping figures, so all
+// artifacts are cached on disk under ScaleConfig::cache_dir keyed by a
+// config tag. Deleting the cache directory forces recomputation.
+//
+// CAUTION: cache keys carry the fast/full tag but not every ScaleConfig
+// field — two zoos with different dataset/training counts MUST use
+// distinct cache_dir values (the examples each use their own
+// subdirectory) or they will silently share stale artifacts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "attacks/cw.hpp"
+#include "attacks/deepfool.hpp"
+#include "attacks/ead.hpp"
+#include "attacks/fgsm.hpp"
+#include "core/config.hpp"
+#include "data/dataset.hpp"
+#include "magnet/autoencoder.hpp"
+#include "nn/sequential.hpp"
+
+namespace adv::core {
+
+/// Builds the (untrained) CNN classifier for a dataset.
+nn::Sequential build_classifier(DatasetId id, std::size_t image_hw,
+                                Rng& rng);
+
+class ModelZoo {
+ public:
+  explicit ModelZoo(ScaleConfig cfg);
+
+  const ScaleConfig& scale() const { return cfg_; }
+
+  struct Splits {
+    data::Dataset train, val, test;
+  };
+
+  /// Deterministic synthetic train/val/test splits for `id`.
+  const Splits& dataset(DatasetId id);
+
+  /// Trained classifier (cached). Prints a one-line training note on a
+  /// cache miss.
+  std::shared_ptr<nn::Sequential> classifier(DatasetId id);
+
+  /// Clean test accuracy of the undefended classifier.
+  float clean_test_accuracy(DatasetId id);
+
+  /// Trained MagNet auto-encoder (cached) for the given architecture,
+  /// width and reconstruction loss.
+  std::shared_ptr<nn::Sequential> autoencoder(DatasetId id,
+                                              magnet::AeArch arch,
+                                              std::size_t filters,
+                                              magnet::ReconLoss loss);
+
+  struct AttackSet {
+    Tensor images;            // first N correctly classified test images
+    std::vector<int> labels;  // their true labels
+  };
+
+  /// The fixed set of attacked images (paper: 1000 correctly classified
+  /// test images).
+  const AttackSet& attack_set(DatasetId id);
+
+  // --- cached attacks (crafted on the UNDEFENDED classifier) -----------
+  attacks::AttackResult cw(DatasetId id, float kappa);
+  attacks::AttackResult ead(DatasetId id, float beta, float kappa,
+                            attacks::DecisionRule rule);
+  attacks::AttackResult fgsm(DatasetId id, float epsilon,
+                             std::size_t iterations);
+  attacks::AttackResult deepfool(DatasetId id);
+
+ private:
+  std::filesystem::path path_for(const std::string& key) const;
+  attacks::AttackResult cached_attack(
+      const std::string& key,
+      const std::function<attacks::AttackResult()>& compute);
+  static void store_attack(const std::filesystem::path& path,
+                           const attacks::AttackResult& r);
+  static attacks::AttackResult load_attack(const std::filesystem::path& path);
+
+  ScaleConfig cfg_;
+  std::map<DatasetId, Splits> datasets_;
+  std::map<DatasetId, std::shared_ptr<nn::Sequential>> classifiers_;
+  std::map<std::string, std::shared_ptr<nn::Sequential>> autoencoders_;
+  std::map<DatasetId, AttackSet> attack_sets_;
+  std::map<std::string, attacks::AttackResult> attack_memo_;
+};
+
+}  // namespace adv::core

@@ -1,0 +1,69 @@
+#include "core/roc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adv::core {
+
+std::vector<RocPoint> roc_curve(const std::vector<float>& clean_scores,
+                                const std::vector<float>& adv_scores) {
+  if (clean_scores.empty() || adv_scores.empty()) {
+    throw std::invalid_argument("roc_curve: both score sets must be non-empty");
+  }
+  // Sweep thresholds from +inf downward; at each distinct score value the
+  // (fpr, tpr) point moves right/up.
+  struct Tagged {
+    float score;
+    bool adversarial;
+  };
+  std::vector<Tagged> all;
+  all.reserve(clean_scores.size() + adv_scores.size());
+  for (const float s : clean_scores) all.push_back({s, false});
+  for (const float s : adv_scores) all.push_back({s, true});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& a, const Tagged& b) { return a.score > b.score; });
+
+  const float inv_neg = 1.0f / static_cast<float>(clean_scores.size());
+  const float inv_pos = 1.0f / static_cast<float>(adv_scores.size());
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0f, 0.0f});
+  std::size_t fp = 0, tp = 0;
+  for (std::size_t i = 0; i < all.size();) {
+    // Consume ties together so the curve is threshold-consistent.
+    const float s = all[i].score;
+    while (i < all.size() && all[i].score == s) {
+      if (all[i].adversarial) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    curve.push_back({static_cast<float>(fp) * inv_neg,
+                     static_cast<float>(tp) * inv_pos});
+  }
+  return curve;
+}
+
+float roc_auc(const std::vector<float>& clean_scores,
+              const std::vector<float>& adv_scores) {
+  const auto curve = roc_curve(clean_scores, adv_scores);
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = static_cast<double>(curve[i].fpr) - curve[i - 1].fpr;
+    auc += dx * 0.5 * (static_cast<double>(curve[i].tpr) + curve[i - 1].tpr);
+  }
+  return static_cast<float>(auc);
+}
+
+float tpr_at_fpr(const std::vector<float>& clean_scores,
+                 const std::vector<float>& adv_scores, float fpr) {
+  const auto curve = roc_curve(clean_scores, adv_scores);
+  float best = 0.0f;
+  for (const RocPoint& p : curve) {
+    if (p.fpr <= fpr) best = std::max(best, p.tpr);
+  }
+  return best;
+}
+
+}  // namespace adv::core

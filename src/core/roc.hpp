@@ -1,0 +1,37 @@
+// ROC analysis for MagNet detectors.
+//
+// MagNet picks a single threshold per detector (at a fixed clean
+// false-positive rate); the ROC curve over clean-vs-adversarial scores
+// shows whether ANY threshold would work — the paper's finding is that
+// for EAD's L1 examples no threshold separates well (low AUC), while for
+// C&W's L2 examples one does.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace adv::core {
+
+struct RocPoint {
+  float fpr = 0.0f;  // fraction of clean (negative) scores above threshold
+  float tpr = 0.0f;  // fraction of adversarial (positive) scores above it
+};
+
+/// ROC curve for "score > threshold means adversarial", swept over every
+/// distinct score. Points are ordered by increasing fpr, starting at
+/// (0,0) and ending at (1,1). Throws std::invalid_argument if either
+/// class is empty.
+std::vector<RocPoint> roc_curve(const std::vector<float>& clean_scores,
+                                const std::vector<float>& adv_scores);
+
+/// Area under the ROC curve by trapezoidal integration; 0.5 = chance,
+/// 1.0 = perfectly separable.
+float roc_auc(const std::vector<float>& clean_scores,
+              const std::vector<float>& adv_scores);
+
+/// True-positive rate at the threshold achieving false-positive rate
+/// <= fpr (MagNet's operating point).
+float tpr_at_fpr(const std::vector<float>& clean_scores,
+                 const std::vector<float>& adv_scores, float fpr);
+
+}  // namespace adv::core

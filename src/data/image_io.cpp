@@ -1,0 +1,76 @@
+#include "data/image_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace adv::data {
+namespace {
+
+struct Chw {
+  std::size_t c, h, w;
+  const float* data;
+};
+
+Chw as_chw(const Tensor& image) {
+  switch (image.rank()) {
+    case 2:
+      return {1, image.dim(0), image.dim(1), image.data()};
+    case 3:
+      return {image.dim(0), image.dim(1), image.dim(2), image.data()};
+    case 4:
+      if (image.dim(0) != 1) {
+        throw std::invalid_argument("image io: batch size must be 1");
+      }
+      return {image.dim(1), image.dim(2), image.dim(3), image.data()};
+    default:
+      throw std::invalid_argument("image io: bad rank " +
+                                  image.shape_string());
+  }
+}
+
+unsigned char quantize(float v) {
+  return static_cast<unsigned char>(
+      std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+}
+
+}  // namespace
+
+void write_pgm(const std::filesystem::path& path, const Tensor& image) {
+  const Chw img = as_chw(image);
+  if (img.c != 1) throw std::invalid_argument("write_pgm: need 1 channel");
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_pgm: cannot open " + path.string());
+  os << "P5\n" << img.w << " " << img.h << "\n255\n";
+  for (std::size_t i = 0; i < img.h * img.w; ++i) {
+    os.put(static_cast<char>(quantize(img.data[i])));
+  }
+  if (!os) throw std::runtime_error("write_pgm: write failed");
+}
+
+void write_ppm(const std::filesystem::path& path, const Tensor& image) {
+  const Chw img = as_chw(image);
+  if (img.c != 3) throw std::invalid_argument("write_ppm: need 3 channels");
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_ppm: cannot open " + path.string());
+  os << "P6\n" << img.w << " " << img.h << "\n255\n";
+  const std::size_t plane = img.h * img.w;
+  for (std::size_t i = 0; i < plane; ++i) {
+    os.put(static_cast<char>(quantize(img.data[i])));
+    os.put(static_cast<char>(quantize(img.data[plane + i])));
+    os.put(static_cast<char>(quantize(img.data[2 * plane + i])));
+  }
+  if (!os) throw std::runtime_error("write_ppm: write failed");
+}
+
+void write_image(const std::filesystem::path& path, const Tensor& image) {
+  if (as_chw(image).c == 1) {
+    write_pgm(path, image);
+  } else {
+    write_ppm(path, image);
+  }
+}
+
+}  // namespace adv::data

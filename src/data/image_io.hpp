@@ -1,0 +1,20 @@
+// Minimal PGM/PPM writers for dumping adversarial examples (paper Fig. 1).
+#pragma once
+
+#include <filesystem>
+
+#include "tensor/tensor.hpp"
+
+namespace adv::data {
+
+/// Writes a single grayscale image ([H,W], [1,H,W] or [1,1,H,W]) as
+/// binary PGM. Values are clamped from [0,1] to [0,255].
+void write_pgm(const std::filesystem::path& path, const Tensor& image);
+
+/// Writes a single RGB image ([3,H,W] or [1,3,H,W]) as binary PPM.
+void write_ppm(const std::filesystem::path& path, const Tensor& image);
+
+/// Dispatches on channel count (1 -> PGM, 3 -> PPM).
+void write_image(const std::filesystem::path& path, const Tensor& image);
+
+}  // namespace adv::data

@@ -1,0 +1,43 @@
+// SynDigits: a procedural stand-in for MNIST (see DESIGN.md §4).
+//
+// Each sample renders the stroke skeleton of a digit 0-9 (seven-segment
+// style polylines) with per-sample random affine placement, per-segment
+// endpoint jitter, random stroke thickness, soft edges and pixel noise,
+// producing a low-dimensional grayscale image manifold on which a small
+// CNN reaches high accuracy and an auto-encoder learns a tight manifold —
+// the regime MagNet's detector/reformer rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace adv::data {
+
+struct SynDigitsConfig {
+  std::size_t count = 1000;
+  std::size_t height = 28;
+  std::size_t width = 28;
+  std::uint64_t seed = 7;
+  float pixel_noise_std = 0.03f;  // additive Gaussian noise, clamped to [0,1]
+  float max_rotation_deg = 12.0f;
+  float jitter = 0.02f;           // per-endpoint positional jitter
+  // Per-segment stroke intensity range. Values below 1 make segments
+  // fade in and out across samples, which (a) raises intra-class
+  // variance so the auto-encoder's clean reconstruction floor is
+  // realistic and (b) pulls decision boundaries close to the data
+  // manifold — the property of real MNIST that makes small adversarial
+  // perturbations exist at all. See DESIGN.md §4.
+  float stroke_intensity_min = 1.0f;
+  float stroke_intensity_max = 1.0f;
+};
+
+/// Generates `cfg.count` samples with balanced labels (label = index % 10).
+Dataset make_syn_digits(const SynDigitsConfig& cfg);
+
+/// Renders a single digit deterministically from (cfg.seed, sample_index).
+/// Exposed for tests and visual dumps.
+Tensor render_syn_digit(const SynDigitsConfig& cfg, std::size_t sample_index,
+                        int digit);
+
+}  // namespace adv::data

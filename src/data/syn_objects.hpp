@@ -1,0 +1,36 @@
+// SynObjects: a procedural stand-in for CIFAR-10 (see DESIGN.md §4).
+//
+// Ten color-image classes, each a distinct shape/texture family with a
+// class-typical hue, rendered over a low-frequency textured background:
+//   0 circle        5 vertical stripes
+//   1 square        6 checkerboard
+//   2 triangle      7 ring (annulus)
+//   3 plus/cross    8 diagonal stripes
+//   4 horiz stripes 9 radial gradient blob
+// Size, position, hue and texture phase are randomized per sample, giving
+// a richer, harder manifold than SynDigits — mirroring the MNIST→CIFAR
+// difficulty step in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace adv::data {
+
+struct SynObjectsConfig {
+  std::size_t count = 1000;
+  std::size_t height = 32;
+  std::size_t width = 32;
+  std::uint64_t seed = 11;
+  float pixel_noise_std = 0.02f;
+};
+
+/// Generates `cfg.count` samples with balanced labels (label = index % 10).
+Dataset make_syn_objects(const SynObjectsConfig& cfg);
+
+/// Renders one sample deterministically from (cfg.seed, sample_index).
+Tensor render_syn_object(const SynObjectsConfig& cfg,
+                         std::size_t sample_index, int label);
+
+}  // namespace adv::data

@@ -1,0 +1,88 @@
+#include "magnet/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+
+namespace adv::magnet {
+
+const char* to_string(DefenseScheme s) {
+  switch (s) {
+    case DefenseScheme::None: return "no defense";
+    case DefenseScheme::DetectorOnly: return "detector";
+    case DefenseScheme::ReformerOnly: return "reformer";
+    case DefenseScheme::Full: return "detector & reformer";
+  }
+  return "?";
+}
+
+Reformer::Reformer(std::shared_ptr<nn::Sequential> autoencoder)
+    : ae_(std::move(autoencoder)) {
+  if (!ae_) throw std::invalid_argument("Reformer: null autoencoder");
+}
+
+Tensor Reformer::reform(const Tensor& batch) const {
+  return nn::predict(*ae_, batch);
+}
+
+MagNetPipeline::MagNetPipeline(std::shared_ptr<nn::Sequential> classifier)
+    : classifier_(std::move(classifier)) {
+  if (!classifier_) throw std::invalid_argument("MagNetPipeline: null classifier");
+}
+
+void MagNetPipeline::add_detector(std::shared_ptr<Detector> detector) {
+  if (!detector) throw std::invalid_argument("add_detector: null detector");
+  detectors_.push_back(std::move(detector));
+}
+
+void MagNetPipeline::set_reformer(std::shared_ptr<Reformer> reformer) {
+  reformer_ = std::move(reformer);
+}
+
+void MagNetPipeline::calibrate(const Tensor& clean_validation, float fpr) {
+  for (auto& d : detectors_) d->calibrate(clean_validation, fpr);
+}
+
+DefenseOutcome MagNetPipeline::classify(const Tensor& batch,
+                                        DefenseScheme scheme) {
+  const std::size_t n = batch.dim(0);
+  DefenseOutcome out;
+  out.rejected.assign(n, false);
+
+  const bool use_detectors = scheme == DefenseScheme::DetectorOnly ||
+                             scheme == DefenseScheme::Full;
+  const bool use_reformer = (scheme == DefenseScheme::ReformerOnly ||
+                             scheme == DefenseScheme::Full) &&
+                            reformer_ != nullptr;
+
+  if (use_detectors) {
+    for (auto& d : detectors_) {
+      const std::vector<bool> r = d->reject(batch);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (r[i]) out.rejected[i] = true;
+      }
+    }
+  }
+
+  const Tensor classified_input =
+      use_reformer ? reformer_->reform(batch) : batch;
+  out.predicted = nn::predict_labels(*classifier_, classified_input);
+  return out;
+}
+
+float MagNetPipeline::clean_accuracy(const Tensor& images,
+                                     const std::vector<int>& labels,
+                                     DefenseScheme scheme) {
+  if (images.dim(0) != labels.size()) {
+    throw std::invalid_argument("clean_accuracy: image/label count mismatch");
+  }
+  const DefenseOutcome o = classify(images, scheme);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    // A rejected clean input counts as an error (it is not classified).
+    if (!o.rejected[i] && o.predicted[i] == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(labels.size());
+}
+
+}  // namespace adv::magnet

@@ -1,0 +1,75 @@
+// MagNetPipeline: the full serial two-stage defense.
+//
+//   input -> [detector bank: reject if ANY detector fires]
+//         -> [reformer: x <- AE(x)]
+//         -> DNN classifier -> label
+//
+// DefenseScheme selects which stages are active, reproducing the paper's
+// supplementary ablation (no defense / detector only / reformer only /
+// detector & reformer).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "magnet/detector.hpp"
+#include "nn/sequential.hpp"
+
+namespace adv::magnet {
+
+enum class DefenseScheme { None, DetectorOnly, ReformerOnly, Full };
+
+const char* to_string(DefenseScheme s);
+
+struct DefenseOutcome {
+  /// True where some detector rejected the input (always false under
+  /// None/ReformerOnly).
+  std::vector<bool> rejected;
+  /// Predicted label after the (possibly active) reformer; computed for
+  /// every row including rejected ones.
+  std::vector<int> predicted;
+};
+
+/// Reformer: projects inputs onto the learned data manifold via the
+/// auto-encoder.
+class Reformer {
+ public:
+  explicit Reformer(std::shared_ptr<nn::Sequential> autoencoder);
+  Tensor reform(const Tensor& batch) const;
+
+ private:
+  std::shared_ptr<nn::Sequential> ae_;
+};
+
+class MagNetPipeline {
+ public:
+  explicit MagNetPipeline(std::shared_ptr<nn::Sequential> classifier);
+
+  void add_detector(std::shared_ptr<Detector> detector);
+  void set_reformer(std::shared_ptr<Reformer> reformer);
+
+  std::size_t detector_count() const { return detectors_.size(); }
+  Detector& detector(std::size_t i) { return *detectors_.at(i); }
+  nn::Sequential& classifier() { return *classifier_; }
+
+  /// Calibrates every detector's threshold at `fpr` on clean validation
+  /// images (MagNet's procedure).
+  void calibrate(const Tensor& clean_validation, float fpr);
+
+  /// Runs the defense. Detectors must be calibrated when the scheme uses
+  /// them; a Full/ReformerOnly scheme without a reformer degrades to the
+  /// respective detector-only/no-defense behaviour.
+  DefenseOutcome classify(const Tensor& batch,
+                          DefenseScheme scheme = DefenseScheme::Full);
+
+  /// Accuracy on clean data: fraction neither rejected nor misclassified.
+  float clean_accuracy(const Tensor& images, const std::vector<int>& labels,
+                       DefenseScheme scheme = DefenseScheme::Full);
+
+ private:
+  std::shared_ptr<nn::Sequential> classifier_;
+  std::vector<std::shared_ptr<Detector>> detectors_;
+  std::shared_ptr<Reformer> reformer_;
+};
+
+}  // namespace adv::magnet

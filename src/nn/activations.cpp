@@ -1,0 +1,94 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adv::nn {
+namespace {
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* who) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(who) +
+                                "::backward: grad shape " + b.shape_string() +
+                                " does not match forward input " +
+                                a.shape_string());
+  }
+}
+
+}  // namespace
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  Tensor out = input;
+  for (float& v : out.values()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  require_same_shape(input_, grad_output, "ReLU");
+  Tensor grad = grad_output;
+  const float* x = input_.data();
+  float* g = grad.data();
+  for (std::size_t i = 0, n = grad.numel(); i < n; ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  Tensor out = input;
+  for (float& v : out.values()) {
+    if (v < 0.0f) v *= negative_slope_;
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  require_same_shape(input_, grad_output, "LeakyReLU");
+  Tensor grad = grad_output;
+  const float* x = input_.data();
+  float* g = grad.data();
+  for (std::size_t i = 0, n = grad.numel(); i < n; ++i) {
+    if (x[i] < 0.0f) g[i] *= negative_slope_;
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (float& v : out.values()) v = 1.0f / (1.0f + std::exp(-v));
+  output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  require_same_shape(output_, grad_output, "Sigmoid");
+  Tensor grad = grad_output;
+  const float* y = output_.data();
+  float* g = grad.data();
+  for (std::size_t i = 0, n = grad.numel(); i < n; ++i) {
+    g[i] *= y[i] * (1.0f - y[i]);
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (float& v : out.values()) v = std::tanh(v);
+  output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  require_same_shape(output_, grad_output, "Tanh");
+  Tensor grad = grad_output;
+  const float* y = output_.data();
+  float* g = grad.data();
+  for (std::size_t i = 0, n = grad.numel(); i < n; ++i) {
+    g[i] *= 1.0f - y[i] * y[i];
+  }
+  return grad;
+}
+
+}  // namespace adv::nn

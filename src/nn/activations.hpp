@@ -1,0 +1,51 @@
+// Element-wise activation layers: ReLU, LeakyReLU, Sigmoid, Tanh.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adv::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_;  // cached for the gradient mask
+};
+
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01f)
+      : negative_slope_(negative_slope) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  float negative_slope_;
+  Tensor input_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;  // sigmoid' = y * (1 - y)
+};
+
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;  // tanh' = 1 - y^2
+};
+
+}  // namespace adv::nn

@@ -1,0 +1,213 @@
+#include "nn/conv2d.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace adv::nn {
+
+void im2col(const float* img, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t stride,
+            std::size_t padding, float* col) {
+  const std::size_t out_h = (height + 2 * padding - kernel) / stride + 1;
+  const std::size_t out_w = (width + 2 * padding - kernel) / stride + 1;
+  const std::size_t plane = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* src = img + c * height * width;
+    for (std::size_t ki = 0; ki < kernel; ++ki) {
+      for (std::size_t kj = 0; kj < kernel; ++kj, ++row) {
+        float* dst = col + row * plane;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          // ih = oh*stride + ki - padding, as signed arithmetic.
+          const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * stride) +
+                                    static_cast<std::ptrdiff_t>(ki) -
+                                    static_cast<std::ptrdiff_t>(padding);
+          float* drow = dst + oh * out_w;
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(height)) {
+            std::memset(drow, 0, out_w * sizeof(float));
+            continue;
+          }
+          const float* srow = src + static_cast<std::size_t>(ih) * width;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride) +
+                static_cast<std::ptrdiff_t>(kj) -
+                static_cast<std::ptrdiff_t>(padding);
+            drow[ow] = (iw < 0 || iw >= static_cast<std::ptrdiff_t>(width))
+                           ? 0.0f
+                           : srow[static_cast<std::size_t>(iw)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t stride,
+            std::size_t padding, float* img) {
+  const std::size_t out_h = (height + 2 * padding - kernel) / stride + 1;
+  const std::size_t out_w = (width + 2 * padding - kernel) / stride + 1;
+  const std::size_t plane = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* dst = img + c * height * width;
+    for (std::size_t ki = 0; ki < kernel; ++ki) {
+      for (std::size_t kj = 0; kj < kernel; ++kj, ++row) {
+        const float* src = col + row * plane;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * stride) +
+                                    static_cast<std::ptrdiff_t>(ki) -
+                                    static_cast<std::ptrdiff_t>(padding);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(height)) continue;
+          const float* srow = src + oh * out_w;
+          float* drow = dst + static_cast<std::size_t>(ih) * width;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride) +
+                static_cast<std::ptrdiff_t>(kj) -
+                static_cast<std::ptrdiff_t>(padding);
+            if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(width)) continue;
+            drow[static_cast<std::size_t>(iw)] += srow[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+Conv2d::Conv2d(const Conv2dConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      weight_({cfg.out_channels, cfg.in_channels * cfg.kernel * cfg.kernel}),
+      bias_({cfg.out_channels}),
+      grad_weight_(weight_.shape()),
+      grad_bias_(bias_.shape()) {
+  if (cfg.kernel == 0 || cfg.stride == 0) {
+    throw std::invalid_argument("Conv2d: kernel and stride must be > 0");
+  }
+  // Glorot with receptive-field fan counts (Keras convention).
+  const std::size_t fan_in = cfg.in_channels * cfg.kernel * cfg.kernel;
+  const std::size_t fan_out = cfg.out_channels * cfg.kernel * cfg.kernel;
+  glorot_uniform(weight_, fan_in, fan_out, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 4 || input.dim(1) != cfg_.in_channels) {
+    throw std::invalid_argument("Conv2d::forward: expected [N, " +
+                                std::to_string(cfg_.in_channels) +
+                                ", H, W], got " + input.shape_string());
+  }
+  input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  if (h + 2 * cfg_.padding < cfg_.kernel || w + 2 * cfg_.padding < cfg_.kernel) {
+    throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
+  }
+  const std::size_t oh = output_dim(h), ow = output_dim(w);
+  const std::size_t k2 = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
+  const std::size_t plane = oh * ow;
+  Tensor out({n, cfg_.out_channels, oh, ow});
+
+  ThreadPool::global().parallel_for(0, n, [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> col(k2 * plane);
+    for (std::size_t s = b0; s < b1; ++s) {
+      im2col(input.data() + s * cfg_.in_channels * h * w, cfg_.in_channels,
+             h, w, cfg_.kernel, cfg_.stride, cfg_.padding, col.data());
+      float* dst = out.data() + s * cfg_.out_channels * plane;
+      gemm_raw(weight_.data(), col.data(), dst, cfg_.out_channels, k2, plane,
+               /*accumulate=*/false, /*parallel=*/false);
+      for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        const float b = bias_[oc];
+        float* p = dst + oc * plane;
+        for (std::size_t i = 0; i < plane; ++i) p[i] += b;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t n = input_.dim(0);
+  const std::size_t h = input_.dim(2), w = input_.dim(3);
+  const std::size_t oh = output_dim(h), ow = output_dim(w);
+  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != cfg_.out_channels || grad_output.dim(2) != oh ||
+      grad_output.dim(3) != ow) {
+    throw std::invalid_argument("Conv2d::backward: bad grad shape " +
+                                grad_output.shape_string());
+  }
+  const std::size_t k2 = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
+  const std::size_t plane = oh * ow;
+  Tensor grad_input(input_.shape());
+
+  auto& pool = ThreadPool::global();
+  const std::size_t chunks = pool.max_chunks();
+  // Per-chunk parameter-gradient scratch, reduced in chunk order below.
+  std::vector<Tensor> dw_parts(chunks, Tensor(weight_.shape()));
+  std::vector<Tensor> db_parts(chunks, Tensor(bias_.shape()));
+
+  pool.parallel_for_indexed(0, n, [&](std::size_t chunk, std::size_t b0,
+                                      std::size_t b1) {
+    std::vector<float> col(k2 * plane);
+    std::vector<float> dcol(k2 * plane);
+    Tensor& dw = dw_parts[chunk];
+    Tensor& db = db_parts[chunk];
+    for (std::size_t s = b0; s < b1; ++s) {
+      const float* gout = grad_output.data() + s * cfg_.out_channels * plane;
+      // db
+      for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        const float* p = gout + oc * plane;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < plane; ++i) acc += p[i];
+        db[oc] += static_cast<float>(acc);
+      }
+      // Recompute the column buffer (cheaper than caching it for wide AEs).
+      im2col(input_.data() + s * cfg_.in_channels * h * w, cfg_.in_channels,
+             h, w, cfg_.kernel, cfg_.stride, cfg_.padding, col.data());
+      // dW += gout [out_c, plane] * col^T [plane, k2]
+      for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        const float* grow = gout + oc * plane;
+        float* dwrow = dw.data() + oc * k2;
+        for (std::size_t r = 0; r < k2; ++r) {
+          const float* crow = col.data() + r * plane;
+          double acc = 0.0;
+          for (std::size_t i = 0; i < plane; ++i) {
+            acc += static_cast<double>(grow[i]) * crow[i];
+          }
+          dwrow[r] += static_cast<float>(acc);
+        }
+      }
+      // dcol = W^T [k2, out_c] * gout [out_c, plane]
+      std::memset(dcol.data(), 0, dcol.size() * sizeof(float));
+      for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        const float* wrow = weight_.data() + oc * k2;
+        const float* grow = gout + oc * plane;
+        for (std::size_t r = 0; r < k2; ++r) {
+          const float wv = wrow[r];
+          if (wv == 0.0f) continue;
+          float* drow = dcol.data() + r * plane;
+          for (std::size_t i = 0; i < plane; ++i) drow[i] += wv * grow[i];
+        }
+      }
+      col2im(dcol.data(), cfg_.in_channels, h, w, cfg_.kernel, cfg_.stride,
+             cfg_.padding,
+             grad_input.data() + s * cfg_.in_channels * h * w);
+    }
+  });
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    float* gw = grad_weight_.data();
+    float* gb = grad_bias_.data();
+    const float* pw = dw_parts[c].data();
+    const float* pb = db_parts[c].data();
+    for (std::size_t i = 0, m = grad_weight_.numel(); i < m; ++i) gw[i] += pw[i];
+    for (std::size_t i = 0, m = grad_bias_.numel(); i < m; ++i) gb[i] += pb[i];
+  }
+  return grad_input;
+}
+
+}  // namespace adv::nn

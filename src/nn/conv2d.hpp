@@ -1,0 +1,65 @@
+// 2-D convolution (NCHW) implemented as im2col + GEMM.
+//
+// Forward / backward parallelize over batch samples (each sample is
+// independent); parameter gradients are accumulated into per-chunk scratch
+// buffers and reduced in chunk order, keeping results deterministic under
+// any thread count.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace adv::nn {
+
+struct Conv2dConfig {
+  std::size_t in_channels = 1;
+  std::size_t out_channels = 1;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 0;  // symmetric zero padding; kernel/2 gives "same"
+};
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(const Conv2dConfig& cfg, Rng& rng);
+
+  /// Convenience for the common 3x3 "same" convolution used by MagNet.
+  static Conv2dConfig same(std::size_t in_c, std::size_t out_c,
+                           std::size_t kernel = 3) {
+    return Conv2dConfig{in_c, out_c, kernel, 1, kernel / 2};
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+  std::string name() const override { return "Conv2d"; }
+
+  const Conv2dConfig& config() const { return cfg_; }
+  std::size_t output_dim(std::size_t in_dim) const {
+    return (in_dim + 2 * cfg_.padding - cfg_.kernel) / cfg_.stride + 1;
+  }
+
+ private:
+  Conv2dConfig cfg_;
+  Tensor weight_;       // [out_c, in_c * k * k]
+  Tensor bias_;         // [out_c]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor input_;        // cached batch for backward
+};
+
+/// Unpacks one sample [C, H, W] (within a batch tensor) into a column
+/// buffer col[C*k*k, out_h*out_w]. Exposed for tests.
+void im2col(const float* img, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t stride,
+            std::size_t padding, float* col);
+
+/// Adjoint of im2col: accumulates col back into img (+=).
+void col2im(const float* col, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t stride,
+            std::size_t padding, float* img);
+
+}  // namespace adv::nn

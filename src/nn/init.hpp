@@ -1,0 +1,20 @@
+// Weight initialization. Glorot (Xavier) uniform matches the Keras
+// defaults used by the original MagNet / EAD training stacks.
+#pragma once
+
+#include <cmath>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace adv::nn {
+
+/// Fills `w` with U(-limit, limit), limit = sqrt(6 / (fan_in + fan_out)).
+inline void glorot_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                           Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : w.values()) v = rng.uniform_f(-limit, limit);
+}
+
+}  // namespace adv::nn

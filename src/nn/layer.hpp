@@ -1,0 +1,48 @@
+// Layer: the building block of every model in this library.
+//
+// Models here are strictly sequential (as are all networks in the paper),
+// so layers expose a plain forward/backward pair instead of a tape. A
+// layer caches whatever it needs during forward; backward consumes the
+// cache and returns the gradient w.r.t. the layer INPUT while accumulating
+// gradients w.r.t. its parameters. Propagating gradients all the way back
+// to the input is what lets the attack implementations (C&W, EAD, FGSM,
+// DeepFool) compute d(loss)/d(image).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adv::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for `input` (leading dimension = batch).
+  /// `training` toggles train-only behaviour (dropout); caching for
+  /// backward happens regardless, so attacks can differentiate in eval
+  /// mode.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Given d(loss)/d(output), accumulates parameter gradients and returns
+  /// d(loss)/d(input). Must be called after forward on the same batch.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers). Pointers remain
+  /// valid for the life of the layer.
+  virtual std::vector<Tensor*> parameters() { return {}; }
+
+  /// Gradient buffers, aligned index-by-index with parameters().
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  void zero_grad() {
+    for (Tensor* g : gradients()) g->fill(0.0f);
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace adv::nn

@@ -1,0 +1,38 @@
+// Fully connected layer: y = x W + b, with x [N, in], W [in, out], b [out].
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace adv::nn {
+
+class Linear final : public Layer {
+ public:
+  /// Initializes W with Glorot-uniform and b with zeros (Keras defaults,
+  /// matching the training stack the paper used).
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+  std::string name() const override { return "Linear"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weight_;       // [in, out]
+  Tensor bias_;         // [out]
+  Tensor grad_weight_;  // [in, out]
+  Tensor grad_bias_;    // [out]
+  Tensor input_;        // cached [N, in]
+};
+
+}  // namespace adv::nn

@@ -1,0 +1,80 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace adv::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<int>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument(
+        "SoftmaxCrossEntropy: logits " + logits.shape_string() + " vs " +
+        std::to_string(labels.size()) + " labels");
+  }
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  const Tensor logp = log_softmax_rows(logits);
+  probs_ = logp;
+  for (float& v : probs_.values()) v = std::exp(v);
+  labels_ = labels;
+  double loss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const int y = labels[r];
+    if (y < 0 || static_cast<std::size_t>(y) >= k) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    loss -= logp[r * k + static_cast<std::size_t>(y)];
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (probs_.empty()) {
+    throw std::logic_error("SoftmaxCrossEntropy::backward before forward");
+  }
+  const std::size_t n = probs_.dim(0), k = probs_.dim(1);
+  Tensor grad = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  float* g = grad.data();
+  for (std::size_t r = 0; r < n; ++r) {
+    g[r * k + static_cast<std::size_t>(labels_[r])] -= 1.0f;
+  }
+  for (std::size_t i = 0, m = grad.numel(); i < m; ++i) g[i] *= inv_n;
+  return grad;
+}
+
+float MseLoss::forward(const Tensor& pred, const Tensor& target) {
+  diff_ = sub(pred, target);
+  double acc = 0.0;
+  for (const float v : diff_.values()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc / static_cast<double>(diff_.numel()));
+}
+
+Tensor MseLoss::backward() const {
+  if (diff_.empty()) throw std::logic_error("MseLoss::backward before forward");
+  Tensor grad = diff_;
+  scale_inplace(grad, 2.0f / static_cast<float>(grad.numel()));
+  return grad;
+}
+
+float MaeLoss::forward(const Tensor& pred, const Tensor& target) {
+  diff_ = sub(pred, target);
+  double acc = 0.0;
+  for (const float v : diff_.values()) acc += std::fabs(v);
+  return static_cast<float>(acc / static_cast<double>(diff_.numel()));
+}
+
+Tensor MaeLoss::backward() const {
+  if (diff_.empty()) throw std::logic_error("MaeLoss::backward before forward");
+  Tensor grad = diff_;
+  const float inv = 1.0f / static_cast<float>(grad.numel());
+  for (float& v : grad.values()) {
+    v = (v > 0.0f ? inv : (v < 0.0f ? -inv : 0.0f));
+  }
+  return grad;
+}
+
+}  // namespace adv::nn

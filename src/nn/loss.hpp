@@ -1,0 +1,55 @@
+// Training losses.
+//
+// SoftmaxCrossEntropy trains classifiers (consumes raw logits);
+// MseLoss / MaeLoss train the MagNet auto-encoders (the paper's Figure 12
+// and 13 compare the two reconstruction losses). Each loss caches what it
+// needs in forward() and emits d(loss)/d(prediction) from backward().
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adv::nn {
+
+/// Mean cross-entropy over the batch, computed from logits [N, K] and
+/// integer labels. Gradient is (softmax - onehot) / N.
+class SoftmaxCrossEntropy {
+ public:
+  float forward(const Tensor& logits, const std::vector<int>& labels);
+  Tensor backward() const;
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// Element-wise regression loss interface for auto-encoder training.
+class RegressionLoss {
+ public:
+  virtual ~RegressionLoss() = default;
+  virtual float forward(const Tensor& pred, const Tensor& target) = 0;
+  virtual Tensor backward() const = 0;
+};
+
+/// Mean squared error, mean over all elements (MagNet default).
+class MseLoss final : public RegressionLoss {
+ public:
+  float forward(const Tensor& pred, const Tensor& target) override;
+  Tensor backward() const override;
+
+ private:
+  Tensor diff_;  // pred - target
+};
+
+/// Mean absolute error (the paper's L1-reconstruction-loss ablation).
+class MaeLoss final : public RegressionLoss {
+ public:
+  float forward(const Tensor& pred, const Tensor& target) override;
+  Tensor backward() const override;
+
+ private:
+  Tensor diff_;
+};
+
+}  // namespace adv::nn

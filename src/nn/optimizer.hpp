@@ -1,0 +1,55 @@
+// First-order optimizers: SGD with momentum and Adam (the paper's training
+// stack used Keras' Adam defaults).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adv::nn {
+
+class Optimizer {
+ public:
+  /// `params` and `grads` must be aligned index-by-index and outlive the
+  /// optimizer (they point into a Sequential's layers).
+  Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+
+ protected:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
+      float momentum = 0.0f);
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+       float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace adv::nn

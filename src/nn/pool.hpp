@@ -1,0 +1,49 @@
+// Spatial pooling layers (NCHW). Window == stride (non-overlapping), which
+// is all the paper's architectures use (2x2 pools).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace adv::nn {
+
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t window = 2) : window_(window) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::size_t window_;
+  Shape input_shape_;
+};
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window = 2) : window_(window) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t window_;
+  Shape input_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output max
+};
+
+/// Nearest-neighbour upsampling by an integer factor (MagNet decoders).
+class Upsample2d final : public Layer {
+ public:
+  explicit Upsample2d(std::size_t factor = 2) : factor_(factor) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Upsample2d"; }
+
+ private:
+  std::size_t factor_;
+  Shape input_shape_;
+};
+
+}  // namespace adv::nn

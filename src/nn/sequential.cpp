@@ -1,0 +1,83 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace adv::nn {
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Tensor*> Sequential::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+void Sequential::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::size_t Sequential::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    for (Tensor* p : const_cast<Layer&>(*layer).parameters()) {
+      n += p->numel();
+    }
+  }
+  return n;
+}
+
+void Sequential::save(const std::filesystem::path& path) const {
+  std::vector<Tensor> params;
+  for (const auto& layer : layers_) {
+    for (Tensor* p : const_cast<Layer&>(*layer).parameters()) {
+      params.push_back(*p);
+    }
+  }
+  save_tensors(path, params);
+}
+
+void Sequential::load(const std::filesystem::path& path) {
+  const std::vector<Tensor> stored = load_tensors(path);
+  std::vector<Tensor*> params = parameters();
+  if (stored.size() != params.size()) {
+    throw std::runtime_error(
+        "Sequential::load: " + path.string() + " holds " +
+        std::to_string(stored.size()) + " tensors, architecture expects " +
+        std::to_string(params.size()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!stored[i].same_shape(*params[i])) {
+      throw std::runtime_error("Sequential::load: tensor " +
+                               std::to_string(i) + " shape " +
+                               stored[i].shape_string() + " != expected " +
+                               params[i]->shape_string());
+    }
+    *params[i] = stored[i];
+  }
+}
+
+}  // namespace adv::nn

@@ -1,0 +1,69 @@
+// Sequential: an ordered stack of layers with whole-model forward,
+// backward (including gradient w.r.t. the input) and weight serialization.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace adv::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  // Move-only: layers hold caches and parameter storage.
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Constructs a layer in place and returns a reference to it.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  /// Moves every layer of `tail` (with its parameters and state) onto the
+  /// end of this model, leaving `tail` empty. Used to compose models,
+  /// e.g. a gray-box attack target classifier(reformer(x)).
+  void append(Sequential&& tail) {
+    for (auto& layer : tail.layers_) layers_.push_back(std::move(layer));
+    tail.layers_.clear();
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Forward pass over all layers. Caches are populated, so backward() may
+  /// follow regardless of `training` (attacks differentiate in eval mode).
+  Tensor forward(const Tensor& input, bool training = false);
+
+  /// Backpropagates d(loss)/d(output) through every layer, accumulating
+  /// parameter gradients, and returns d(loss)/d(input).
+  Tensor backward(const Tensor& grad_output);
+
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+  void zero_grad();
+  std::size_t parameter_count() const;
+
+  /// Saves all parameter tensors in layer order.
+  void save(const std::filesystem::path& path) const;
+
+  /// Loads parameters saved by save(). Throws std::runtime_error if the
+  /// file's tensor count or any shape disagrees with this architecture.
+  void load(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace adv::nn

@@ -1,0 +1,55 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adv::nn {
+
+Tensor softmax_rows(const Tensor& logits, float temperature) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_rows: expected [N, K], got " +
+                                logits.shape_string());
+  }
+  if (temperature <= 0.0f) {
+    throw std::invalid_argument("softmax_rows: temperature must be > 0");
+  }
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  Tensor out({n, k});
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* src = logits.data() + r * k;
+    float* dst = out.data() + r * k;
+    float mx = src[0];
+    for (std::size_t j = 1; j < k; ++j) mx = std::max(mx, src[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      dst[j] = std::exp((src[j] - mx) / temperature);
+      denom += dst[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < k; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("log_softmax_rows: expected [N, K], got " +
+                                logits.shape_string());
+  }
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  Tensor out({n, k});
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* src = logits.data() + r * k;
+    float* dst = out.data() + r * k;
+    float mx = src[0];
+    for (std::size_t j = 1; j < k; ++j) mx = std::max(mx, src[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < k; ++j) denom += std::exp(src[j] - mx);
+    const float log_denom = static_cast<float>(std::log(denom));
+    for (std::size_t j = 0; j < k; ++j) dst[j] = src[j] - mx - log_denom;
+  }
+  return out;
+}
+
+}  // namespace adv::nn

@@ -1,0 +1,17 @@
+// Softmax utilities on rank-2 logit tensors [N, K]. Softmax is applied by
+// the loss during training and by the MagNet JSD detector at inference
+// (with a temperature), so it is a free function rather than a layer.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace adv::nn {
+
+/// Row-wise softmax(logits / temperature). Numerically stabilized by
+/// max-subtraction. Throws on rank != 2 or temperature <= 0.
+Tensor softmax_rows(const Tensor& logits, float temperature = 1.0f);
+
+/// Row-wise log-softmax (temperature 1).
+Tensor log_softmax_rows(const Tensor& logits);
+
+}  // namespace adv::nn

@@ -1,0 +1,36 @@
+// Structural layers: Flatten (NCHW -> [N, C*H*W]) and Dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace adv::nn {
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+/// Inverted dropout: activations are scaled by 1/(1-rate) at train time so
+/// eval needs no rescaling. Identity (and differentiable) in eval mode, so
+/// attacks see the deterministic network.
+class Dropout final : public Layer {
+ public:
+  Dropout(float rate, std::uint64_t seed);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor mask_;       // empty when the last forward was eval-mode
+  bool last_training_ = false;
+};
+
+}  // namespace adv::nn

@@ -1,0 +1,160 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace adv::nn {
+namespace {
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  // Fisher-Yates with our deterministic RNG.
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.uniform_index(i)]);
+  }
+  return idx;
+}
+
+Tensor gather_rows(const Tensor& images, const std::vector<std::size_t>& idx,
+                   std::size_t begin, std::size_t end) {
+  const std::size_t row = images.numel() / images.dim(0);
+  std::vector<std::size_t> dims = images.shape().dims();
+  dims[0] = end - begin;
+  Tensor out{Shape(dims)};
+  for (std::size_t i = begin; i < end; ++i) {
+    std::copy_n(images.data() + idx[i] * row, row,
+                out.data() + (i - begin) * row);
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainStats fit_classifier(Sequential& model, const Tensor& images,
+                          const std::vector<int>& labels, Optimizer& opt,
+                          const TrainConfig& cfg) {
+  if (images.rank() == 0 || images.dim(0) != labels.size()) {
+    throw std::invalid_argument("fit_classifier: image/label count mismatch");
+  }
+  const std::size_t n = images.dim(0);
+  Rng rng(cfg.shuffle_seed);
+  SoftmaxCrossEntropy loss;
+  TrainStats stats;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto idx = shuffled_indices(n, rng);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t b = 0; b < n; b += cfg.batch_size) {
+      const std::size_t e = std::min(n, b + cfg.batch_size);
+      Tensor x = gather_rows(images, idx, b, e);
+      std::vector<int> y(e - b);
+      for (std::size_t i = b; i < e; ++i) y[i - b] = labels[idx[i]];
+      const Tensor logits = model.forward(x, /*training=*/true);
+      epoch_loss += loss.forward(logits, y);
+      ++batches;
+      model.zero_grad();
+      model.backward(loss.backward());
+      opt.step();
+    }
+    stats.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+    if (cfg.verbose) {
+      std::printf("  epoch %zu/%zu  loss %.4f\n", epoch + 1, cfg.epochs,
+                  stats.epoch_losses.back());
+    }
+  }
+  return stats;
+}
+
+TrainStats fit_autoencoder(Sequential& model, const Tensor& images,
+                           RegressionLoss& loss, float noise_std,
+                           Optimizer& opt, const TrainConfig& cfg) {
+  if (images.rank() == 0) {
+    throw std::invalid_argument("fit_autoencoder: empty dataset");
+  }
+  const std::size_t n = images.dim(0);
+  Rng rng(cfg.shuffle_seed);
+  Rng noise_rng = rng.fork();
+  TrainStats stats;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto idx = shuffled_indices(n, rng);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t b = 0; b < n; b += cfg.batch_size) {
+      const std::size_t e = std::min(n, b + cfg.batch_size);
+      const Tensor target = gather_rows(images, idx, b, e);
+      Tensor x = target;
+      if (noise_std > 0.0f) {
+        for (float& v : x.values()) {
+          v = std::clamp(
+              v + static_cast<float>(noise_rng.normal(0.0, noise_std)), 0.0f,
+              1.0f);
+        }
+      }
+      const Tensor recon = model.forward(x, /*training=*/true);
+      epoch_loss += loss.forward(recon, target);
+      ++batches;
+      model.zero_grad();
+      model.backward(loss.backward());
+      opt.step();
+    }
+    stats.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+    if (cfg.verbose) {
+      std::printf("  epoch %zu/%zu  recon loss %.5f\n", epoch + 1, cfg.epochs,
+                  stats.epoch_losses.back());
+    }
+  }
+  return stats;
+}
+
+Tensor predict(Sequential& model, const Tensor& images,
+               std::size_t batch_size) {
+  if (images.rank() == 0) throw std::invalid_argument("predict: empty input");
+  const std::size_t n = images.dim(0);
+  Tensor out;
+  for (std::size_t b = 0; b < n; b += batch_size) {
+    const std::size_t e = std::min(n, b + batch_size);
+    const Tensor y = model.forward(images.slice_rows(b, e), false);
+    if (out.empty()) {
+      std::vector<std::size_t> dims = y.shape().dims();
+      dims[0] = n;
+      out = Tensor{Shape(dims)};
+    }
+    out.set_rows(b, y);
+  }
+  return out;
+}
+
+std::vector<int> predict_labels(Sequential& model, const Tensor& images,
+                                std::size_t batch_size) {
+  const Tensor logits = predict(model, images, batch_size);
+  std::vector<int> labels(logits.dim(0));
+  for (std::size_t r = 0; r < logits.dim(0); ++r) {
+    labels[r] = static_cast<int>(argmax_row(logits, r));
+  }
+  return labels;
+}
+
+float classification_accuracy(Sequential& model, const Tensor& images,
+                              const std::vector<int>& labels,
+                              std::size_t batch_size) {
+  if (images.dim(0) != labels.size()) {
+    throw std::invalid_argument(
+        "classification_accuracy: image/label count mismatch");
+  }
+  const std::vector<int> pred = predict_labels(model, images, batch_size);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(pred.size());
+}
+
+}  // namespace adv::nn

@@ -1,0 +1,132 @@
+#include "tensor/gemm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/thread_pool.hpp"
+
+namespace adv {
+namespace {
+
+void check_rank2(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string("gemm: ") + name +
+                                " must be rank 2, got " + t.shape_string());
+  }
+}
+
+// Computes rows [r0, r1) of c = a * b with an i-k-j loop: the inner j loop
+// is a unit-stride FMA over b's row, which the compiler vectorizes.
+void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
+               std::size_t r1, std::size_t k, std::size_t n,
+               bool accumulate) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* ci = c + i * n;
+    if (!accumulate) std::memset(ci, 0, n * sizeof(float));
+    const float* ai = a + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = ai[kk];
+      if (aik == 0.0f) continue;  // sparse gradients are common in ReLU nets
+      const float* bk = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_raw(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, bool accumulate, bool parallel) {
+  if (m == 0 || n == 0) return;
+  // Only parallelize when the work amortizes the pool handoff.
+  if (parallel && m * k * n >= 64 * 1024) {
+    ThreadPool::global().parallel_for(0, m, [&](std::size_t b0,
+                                                std::size_t b1) {
+      gemm_rows(a, b, c, b0, b1, k, n, accumulate);
+    });
+  } else {
+    gemm_rows(a, b, c, 0, m, k, n, accumulate);
+  }
+}
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("gemm: inner dims differ: " +
+                                a.shape_string() + " * " + b.shape_string());
+  }
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) c = Tensor({m, n});
+  gemm_raw(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/false);
+}
+
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  // a is stored [K, M]; logical op is A^T(M,K) * B(K,N).
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("gemm_at_b: inner dims differ: " +
+                                a.shape_string() + "^T * " +
+                                b.shape_string());
+  }
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) c = Tensor({m, n});
+  c.fill(0.0f);
+  // Parallelize over output rows (columns of stored a): chunk [m0, m1).
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  auto body = [&](std::size_t m0, std::size_t m1) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = pb + kk * n;
+      const float* arow = pa + kk * m;
+      for (std::size_t i = m0; i < m1; ++i) {
+        const float aki = arow[i];
+        if (aki == 0.0f) continue;
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+      }
+    }
+  };
+  if (m * k * n >= 64 * 1024) {
+    ThreadPool::global().parallel_for(0, m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  // b is stored [N, K]; logical op is A(M,K) * B^T(K,N).
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("gemm_a_bt: inner dims differ: " +
+                                a.shape_string() + " * " + b.shape_string() +
+                                "^T");
+  }
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) c = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  auto body = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        double acc = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
+        crow[j] = static_cast<float>(acc);
+      }
+    }
+  };
+  if (m * k * n >= 64 * 1024) {
+    ThreadPool::global().parallel_for(0, m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+}  // namespace adv

@@ -1,0 +1,28 @@
+// Single-precision matrix multiplication used by the conv (im2col) and
+// linear layers. Row-major throughout.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace adv {
+
+/// C = A(MxK) * B(KxN), overwriting C (MxN). Parallelized over row blocks
+/// of A via the global thread pool; deterministic (static partitioning,
+/// no cross-chunk reductions).
+void gemm(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A^T(MxK, stored KxM) * B(KxN). Used by backward passes.
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A(MxK) * B^T(NxK). Used by backward passes.
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Raw pointer core: c[M,N] (+)= a[M,K] * b[K,N]; if accumulate is false,
+/// c is overwritten. Exposed for layers that operate on sub-buffers.
+void gemm_raw(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, bool accumulate,
+              bool parallel = true);
+
+}  // namespace adv

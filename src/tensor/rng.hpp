@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (weight init, data synthesis, shuffling,
+// dropout) draw from Xoshiro256** seeded through SplitMix64, so every
+// experiment is bit-reproducible from a single root seed regardless of
+// thread count (parallel code never shares a generator; it forks child
+// generators with `fork()`).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace adv {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality general-purpose PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  float uniform_f(float lo, float hi) {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  /// Standard normal via Box-Muller (one value per call; cheap enough here).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::size_t uniform_index(std::size_t n) {
+    // Modulo bias is negligible for the n used here (n << 2^64).
+    return static_cast<std::size_t>(next_u64() % n);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (for per-sample determinism
+  /// independent of iteration order).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace adv

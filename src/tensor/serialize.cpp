@@ -1,0 +1,74 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace adv {
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("tensor stream truncated");
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod<std::uint64_t>(os, t.rank());
+  for (std::size_t i = 0; i < t.rank(); ++i) {
+    write_pod<std::uint64_t>(os, t.dim(i));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto rank = read_pod<std::uint64_t>(is);
+  if (rank > 8) throw std::runtime_error("tensor rank implausible: corrupt file");
+  std::vector<std::size_t> dims(rank);
+  for (auto& d : dims) d = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  Tensor t{Shape(dims)};
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("tensor stream truncated");
+  return t;
+}
+
+void save_tensors(const std::filesystem::path& path,
+                  const std::vector<Tensor>& tensors) {
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for write: " + path.string());
+  write_pod(os, kTensorFileMagic);
+  write_pod(os, kTensorFileVersion);
+  write_pod<std::uint64_t>(os, tensors.size());
+  for (const auto& t : tensors) write_tensor(os, t);
+  if (!os) throw std::runtime_error("write failed: " + path.string());
+}
+
+std::vector<Tensor> load_tensors(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path.string());
+  if (read_pod<std::uint32_t>(is) != kTensorFileMagic) {
+    throw std::runtime_error("bad magic in " + path.string());
+  }
+  if (read_pod<std::uint32_t>(is) != kTensorFileVersion) {
+    throw std::runtime_error("unsupported version in " + path.string());
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  std::vector<Tensor> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(read_tensor(is));
+  return out;
+}
+
+}  // namespace adv

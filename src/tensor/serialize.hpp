@@ -1,0 +1,33 @@
+// Binary tensor (de)serialization for the model-zoo weight cache and the
+// adversarial-example cache.
+//
+// Format (little-endian):
+//   file   := magic:u32 version:u32 count:u64 tensor*
+//   tensor := rank:u64 dims:u64[rank] data:f32[numel]
+#pragma once
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adv {
+
+inline constexpr std::uint32_t kTensorFileMagic = 0x4144'5631;  // "ADV1"
+inline constexpr std::uint32_t kTensorFileVersion = 1;
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+/// Writes a whole tensor collection with header. Throws std::runtime_error
+/// on I/O failure.
+void save_tensors(const std::filesystem::path& path,
+                  const std::vector<Tensor>& tensors);
+
+/// Reads a collection written by save_tensors. Throws std::runtime_error on
+/// missing file, bad magic/version, or truncation.
+std::vector<Tensor> load_tensors(const std::filesystem::path& path);
+
+}  // namespace adv

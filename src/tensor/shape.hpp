@@ -1,0 +1,54 @@
+// Shape: a small value type describing the extent of each tensor dimension.
+//
+// Tensors in this library are dense, contiguous and row-major. A Shape is a
+// short sequence of extents; rank 0 denotes an empty/default tensor.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace adv {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  /// Number of dimensions.
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of dimension `i`. Throws std::out_of_range on a bad index.
+  std::size_t operator[](std::size_t i) const { return dims_.at(i); }
+
+  /// Total number of elements (product of extents; 1 for rank 0 is NOT
+  /// assumed — an empty shape has 0 elements, matching a default tensor).
+  std::size_t numel() const {
+    if (dims_.empty()) return 0;
+    return std::accumulate(dims_.begin(), dims_.end(), std::size_t{1},
+                           std::multiplies<>());
+  }
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const = default;
+
+  /// Human-readable form, e.g. "[32, 1, 28, 28]".
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace adv

@@ -1,0 +1,75 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adv {
+
+Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
+  if (shape.numel() != data.size()) {
+    throw std::invalid_argument("Tensor::from_data: shape " +
+                                shape.to_string() + " expects " +
+                                std::to_string(shape.numel()) +
+                                " elements, got " +
+                                std::to_string(data.size()));
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: cannot view " +
+                                shape_.to_string() + " as " +
+                                new_shape.to_string());
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshape: cannot view " +
+                                shape_.to_string() + " as " +
+                                new_shape.to_string());
+  }
+  shape_ = std::move(new_shape);
+}
+
+Tensor Tensor::slice_rows(std::size_t begin, std::size_t end) const {
+  if (rank() == 0 || begin > end || end > shape_[0]) {
+    throw std::out_of_range("Tensor::slice_rows: bad range [" +
+                            std::to_string(begin) + ", " +
+                            std::to_string(end) + ") for shape " +
+                            shape_.to_string());
+  }
+  const std::size_t row_stride = shape_[0] ? numel() / shape_[0] : 0;
+  std::vector<std::size_t> dims = shape_.dims();
+  dims[0] = end - begin;
+  Tensor out{Shape(dims)};
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * row_stride),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * row_stride),
+            out.data());
+  return out;
+}
+
+void Tensor::set_rows(std::size_t begin, const Tensor& rows) {
+  if (rank() == 0 || rows.rank() == 0) {
+    throw std::invalid_argument("Tensor::set_rows: empty tensor");
+  }
+  const std::size_t row_stride = numel() / shape_[0];
+  const std::size_t src_rows = rows.dim(0);
+  if (rows.numel() != src_rows * row_stride || begin + src_rows > shape_[0]) {
+    throw std::invalid_argument("Tensor::set_rows: shape mismatch writing " +
+                                rows.shape_string() + " into " +
+                                shape_.to_string() + " at row " +
+                                std::to_string(begin));
+  }
+  std::copy(rows.data(), rows.data() + rows.numel(),
+            data_.begin() + static_cast<std::ptrdiff_t>(begin * row_stride));
+}
+
+}  // namespace adv

@@ -1,0 +1,104 @@
+#include "tensor/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace adv {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  tasks_.resize(n - 1);
+  workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_indexed(
+      begin, end,
+      [&fn](std::size_t /*chunk*/, std::size_t b, std::size_t e) {
+        fn(b, e);
+      });
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t nthreads = std::min(thread_count(), total);
+  if (nthreads <= 1) {
+    fn(0, begin, end);
+    return;
+  }
+  const std::size_t chunk = (total + nthreads - 1) / nthreads;
+
+  // Hand chunks 1..n-1 to workers; the caller runs chunk 0.
+  {
+    std::lock_guard lock(mutex_);
+    pending_ = 0;
+    for (std::size_t t = 1; t < nthreads; ++t) {
+      const std::size_t b = begin + t * chunk;
+      const std::size_t e = std::min(end, b + chunk);
+      if (b >= e) break;
+      tasks_[t - 1] = Task{&fn, t, b, e};
+      ++pending_;
+    }
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  fn(0, begin, std::min(end, begin + chunk));
+
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return shutdown_ || (generation_ != seen_generation &&
+                             tasks_[worker_index].fn != nullptr);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+      tasks_[worker_index].fn = nullptr;
+    }
+    if (task.fn) {
+      (*task.fn)(task.chunk, task.begin, task.end);
+      std::lock_guard lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ADV_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
+  return pool;
+}
+
+}  // namespace adv

@@ -1,0 +1,74 @@
+// A small persistent thread pool with a deterministic parallel_for.
+//
+// parallel_for statically partitions [begin, end) into one contiguous chunk
+// per worker, so the mapping from index to thread is a pure function of
+// (range, thread count) — results of per-chunk reductions can be combined
+// in a fixed order, keeping multi-threaded runs bit-identical.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adv {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs `fn(chunk_begin, chunk_end)` over a static partition of
+  /// [begin, end). Blocks until all chunks finish. The calling thread
+  /// executes one chunk itself. `fn` must not call parallel_for on the
+  /// same pool (no nesting).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Like parallel_for but also passes the chunk index (0-based, dense,
+  /// < max_chunks()). Lets callers accumulate into per-chunk scratch
+  /// buffers and reduce them in chunk order — deterministic regardless of
+  /// scheduling.
+  void parallel_for_indexed(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t chunk, std::size_t, std::size_t)>&
+          fn);
+
+  /// Upper bound on the chunk index parallel_for_indexed will pass.
+  std::size_t max_chunks() const { return thread_count(); }
+
+  /// Process-wide pool, created on first use. Thread count can be pinned
+  /// with the ADV_THREADS environment variable.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+        nullptr;
+    std::size_t chunk = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<Task> tasks_;        // one slot per worker
+  std::uint64_t generation_ = 0;   // bumped per parallel_for call
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace adv

@@ -1,0 +1,182 @@
+// Property-based tests of the attack machinery across random seeds and
+// configurations (TEST_P sweeps). These pin down the invariants the
+// evaluation relies on: box feasibility, confidence satisfaction,
+// monotonicity in kappa/epsilon, and shrinkage-operator contraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/cw.hpp"
+#include "attacks/ead.hpp"
+#include "attacks/fgsm.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "nn/structural.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace adv::attacks {
+namespace {
+
+/// Random small MLP classifier over a 9-pixel image, 3 classes.
+nn::Sequential random_mlp(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Sequential m;
+  m.emplace<nn::Flatten>();
+  m.emplace<nn::Linear>(9, 12, rng);
+  m.emplace<nn::Tanh>();
+  m.emplace<nn::Linear>(12, 3, rng);
+  // Scale the head so logits have an attackable range.
+  scale_inplace(*m.parameters()[2], 6.0f);
+  return m;
+}
+
+/// Batch of images with known (argmax) labels under the model.
+std::pair<Tensor, std::vector<int>> labeled_batch(nn::Sequential& m,
+                                                  std::uint64_t seed,
+                                                  std::size_t n) {
+  Rng rng(seed);
+  Tensor x({n, 1, 3, 3});
+  fill_uniform(x, rng, 0.1f, 0.9f);
+  const Tensor logits = m.forward(x, false);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(argmax_row(logits, i));
+  }
+  return {x, labels};
+}
+
+class AttackProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttackProperties, EadRespectsBoxAndConfidence) {
+  nn::Sequential m = random_mlp(GetParam());
+  auto [x, labels] = labeled_batch(m, GetParam() + 1, 6);
+  EadConfig cfg;
+  cfg.beta = 0.02f;
+  cfg.kappa = 1.0f;
+  cfg.iterations = 80;
+  cfg.binary_search_steps = 3;
+  cfg.initial_c = 1.0f;
+  const AttackResult r = ead_attack(m, x, labels, cfg);
+  EXPECT_GE(min_value(r.adversarial), 0.0f);
+  EXPECT_LE(max_value(r.adversarial), 1.0f);
+  const HingeEval e =
+      eval_untargeted_hinge(m, r.adversarial, labels, cfg.kappa);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (r.success[i]) {
+      EXPECT_GE(e.margin[i], cfg.kappa - 1e-3f) << "row " << i;
+      EXPECT_GT(r.l2[i], 0.0f);
+    } else {
+      // Failed rows must be the untouched natural image.
+      EXPECT_FLOAT_EQ(r.l1[i], 0.0f);
+    }
+  }
+}
+
+TEST_P(AttackProperties, DistortionGrowsWithConfidence) {
+  nn::Sequential m = random_mlp(GetParam() + 11);
+  auto [x, labels] = labeled_batch(m, GetParam() + 12, 8);
+  auto mean_l2_at = [&](float kappa) {
+    CwL2Config cfg;
+    cfg.kappa = kappa;
+    cfg.iterations = 80;
+    cfg.binary_search_steps = 3;
+    cfg.initial_c = 1.0f;
+    const AttackResult r = cw_l2_attack(m, x, labels, cfg);
+    return r.success_count() ? r.mean_l2_over_success() : -1.0f;
+  };
+  const float lo = mean_l2_at(0.2f);
+  const float hi = mean_l2_at(3.0f);
+  if (lo >= 0.0f && hi >= 0.0f) {
+    EXPECT_GE(hi, lo - 1e-3f);
+  }
+}
+
+TEST_P(AttackProperties, EadL1RuleNeverExceedsEnRuleL1) {
+  nn::Sequential m = random_mlp(GetParam() + 21);
+  auto [x, labels] = labeled_batch(m, GetParam() + 22, 6);
+  EadConfig cfg;
+  cfg.beta = 0.03f;
+  cfg.kappa = 0.5f;
+  cfg.iterations = 80;
+  cfg.binary_search_steps = 3;
+  cfg.initial_c = 1.0f;
+  const DecisionRule rules[2] = {DecisionRule::EN, DecisionRule::L1};
+  const auto rs = ead_attack_multi(m, x, labels, cfg, rules);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ASSERT_EQ(rs[0].success[i], rs[1].success[i]);
+    if (rs[0].success[i]) {
+      EXPECT_LE(rs[1].l1[i], rs[0].l1[i] + 1e-4f) << "row " << i;
+    }
+  }
+}
+
+TEST_P(AttackProperties, FgsmDistortionBoundedByEpsilon) {
+  nn::Sequential m = random_mlp(GetParam() + 31);
+  auto [x, labels] = labeled_batch(m, GetParam() + 32, 8);
+  for (const float eps : {0.05f, 0.2f}) {
+    FgsmConfig cfg;
+    cfg.epsilon = eps;
+    cfg.iterations = 5;
+    const AttackResult r = fgsm_attack(m, x, labels, cfg);
+    for (const float d : r.linf) EXPECT_LE(d, eps + 1e-5f);
+  }
+}
+
+TEST_P(AttackProperties, ShrinkageIsContractionTowardNatural) {
+  // |S_beta(z) - x0| <= |clip(z) - x0| elementwise: the shrinkage never
+  // moves a pixel further from the natural image than plain projection.
+  Rng rng(GetParam() + 41);
+  Tensor z({40}), x0({40});
+  fill_uniform(z, rng, -0.3f, 1.3f);
+  fill_uniform(x0, rng, 0.0f, 1.0f);
+  Tensor shrunk, clipped;
+  shrink_project(z, x0, 0.07f, shrunk);
+  shrink_project(z, x0, 0.0f, clipped);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_LE(std::fabs(shrunk[i] - x0[i]),
+              std::fabs(clipped[i] - x0[i]) + 1e-6f);
+    EXPECT_GE(shrunk[i], 0.0f);
+    EXPECT_LE(shrunk[i], 1.0f);
+  }
+}
+
+TEST_P(AttackProperties, LargerBetaNeverIncreasesSupport) {
+  // Across random problems, the count of touched pixels under beta=0.08
+  // must not exceed the count under beta=0.005 (sparsity induction).
+  nn::Sequential m = random_mlp(GetParam() + 51);
+  auto [x, labels] = labeled_batch(m, GetParam() + 52, 4);
+  auto support = [&](float beta) {
+    EadConfig cfg;
+    cfg.beta = beta;
+    cfg.kappa = 0.5f;
+    cfg.iterations = 100;
+    cfg.binary_search_steps = 3;
+    cfg.initial_c = 1.0f;
+    cfg.rule = DecisionRule::L1;
+    const AttackResult r = ead_attack(m, x, labels, cfg);
+    std::size_t touched = 0, successes = 0;
+    const std::size_t row = x.numel() / x.dim(0);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (!r.success[i]) continue;
+      ++successes;
+      for (std::size_t j = 0; j < row; ++j) {
+        if (std::fabs(r.adversarial[i * row + j] - x[i * row + j]) > 1e-4f) {
+          ++touched;
+        }
+      }
+    }
+    return successes ? static_cast<double>(touched) / successes : -1.0;
+  };
+  const double dense = support(0.005f);
+  const double sparse = support(0.08f);
+  if (dense >= 0.0 && sparse >= 0.0) {
+    EXPECT_LE(sparse, dense + 0.51);  // allow ties within half a pixel
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackProperties,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace adv::attacks

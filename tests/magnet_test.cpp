@@ -1,0 +1,311 @@
+// MagNet component tests: detectors, calibration, JSD, reformer, pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "magnet/autoencoder.hpp"
+#include "magnet/detector.hpp"
+#include "magnet/pipeline.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/structural.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace adv::magnet {
+namespace {
+
+/// Detector whose score is the mean pixel value — lets calibration logic be
+/// tested against hand-computable quantiles.
+class MeanDetector final : public Detector {
+ public:
+  std::vector<float> scores(const Tensor& batch) override {
+    const std::size_t n = batch.dim(0);
+    const std::size_t row = batch.numel() / n;
+    std::vector<float> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < row; ++j) acc += batch[i * row + j];
+      out[i] = static_cast<float>(acc / static_cast<double>(row));
+    }
+    return out;
+  }
+  std::string name() const override { return "mean"; }
+};
+
+Tensor batch_of_values(std::initializer_list<float> values) {
+  std::vector<float> data(values);
+  const std::size_t n = data.size();
+  return Tensor::from_data(Shape({n, 1, 1, 1}), std::move(data));
+}
+
+/// Builds an identity "auto-encoder": one 1x1 conv with weight 1, bias 0,
+/// so AE(x) == x and reconstruction error is exactly zero.
+std::shared_ptr<nn::Sequential> identity_ae() {
+  Rng rng(1);
+  auto ae = std::make_shared<nn::Sequential>();
+  ae->emplace<nn::Conv2d>(nn::Conv2dConfig{1, 1, 1, 1, 0}, rng);
+  ae->parameters()[0]->fill(1.0f);
+  ae->parameters()[1]->fill(0.0f);
+  return ae;
+}
+
+/// A 1-pixel-input "classifier" with fixed logits: class 0 logit = -w*x,
+/// class 1 logit = w*x.
+std::shared_ptr<nn::Sequential> threshold_classifier(float w = 10.0f) {
+  Rng rng(2);
+  auto clf = std::make_shared<nn::Sequential>();
+  clf->emplace<nn::Flatten>();
+  auto& lin = clf->emplace<nn::Linear>(1, 2, rng);
+  *lin.parameters()[0] = Tensor::from_data(Shape({1, 2}), {-w, w});
+  *lin.parameters()[1] = Tensor::from_data(Shape({2}), {5.0f, -5.0f});
+  return clf;
+}
+
+// --- calibration ---------------------------------------------------------
+
+TEST(Detector, CalibrateSetsQuantileThreshold) {
+  MeanDetector d;
+  // Scores 0.01 .. 1.00.
+  std::vector<float> vals(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    vals[i] = static_cast<float>(i + 1) / 100.0f;
+  }
+  Tensor batch = Tensor::from_data(Shape({100, 1, 1, 1}),
+                                   std::vector<float>(vals));
+  d.calibrate(batch, 0.05f);
+  // Threshold at (1 - 0.05) quantile: ceil(0.95*100) = index 95 -> 0.96.
+  EXPECT_NEAR(d.threshold(), 0.96f, 1e-5f);
+  const auto rejected = d.reject(batch);
+  const auto n_rejected = std::count(rejected.begin(), rejected.end(), true);
+  EXPECT_EQ(n_rejected, 4);  // 0.97, 0.98, 0.99, 1.00
+}
+
+TEST(Detector, CalibrateValidatesInputs) {
+  MeanDetector d;
+  Tensor batch = batch_of_values({0.5f});
+  EXPECT_THROW(d.calibrate(batch, 0.0f), std::invalid_argument);
+  EXPECT_THROW(d.calibrate(batch, 1.0f), std::invalid_argument);
+  EXPECT_THROW(d.threshold(), std::logic_error);
+  EXPECT_THROW(d.reject(batch), std::logic_error);
+}
+
+TEST(Detector, SetThresholdOverridesCalibration) {
+  MeanDetector d;
+  d.set_threshold(0.5f);
+  const auto r = d.reject(batch_of_values({0.4f, 0.6f}));
+  EXPECT_FALSE(r[0]);
+  EXPECT_TRUE(r[1]);
+}
+
+// --- reconstruction detector ----------------------------------------------
+
+TEST(ReconstructionDetector, ZeroScoreUnderIdentityAe) {
+  ReconstructionDetector d(identity_ae(), 1);
+  const auto s = d.scores(batch_of_values({0.3f, 0.9f}));
+  EXPECT_NEAR(s[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(s[1], 0.0f, 1e-6f);
+}
+
+TEST(ReconstructionDetector, ScoreMatchesManualError) {
+  // AE with weight 0.5: AE(x) = 0.5 x, so per-pixel L1 error = 0.5|x|.
+  auto ae = identity_ae();
+  ae->parameters()[0]->fill(0.5f);
+  ReconstructionDetector d1(ae, 1);
+  ReconstructionDetector d2(ae, 2);
+  const auto s1 = d1.scores(batch_of_values({0.8f}));
+  const auto s2 = d2.scores(batch_of_values({0.8f}));
+  EXPECT_NEAR(s1[0], 0.4f, 1e-5f);
+  EXPECT_NEAR(s2[0], 0.16f, 1e-5f);
+}
+
+TEST(ReconstructionDetector, ValidatesConstruction) {
+  EXPECT_THROW(ReconstructionDetector(nullptr, 1), std::invalid_argument);
+  EXPECT_THROW(ReconstructionDetector(identity_ae(), 3),
+               std::invalid_argument);
+}
+
+// --- JSD -------------------------------------------------------------------
+
+TEST(Jsd, IdenticalDistributionsGiveZero) {
+  const float p[] = {0.2f, 0.3f, 0.5f};
+  EXPECT_NEAR(jensen_shannon_divergence(p, p), 0.0f, 1e-7f);
+}
+
+TEST(Jsd, SymmetricAndBounded) {
+  const float p[] = {1.0f, 0.0f};
+  const float q[] = {0.0f, 1.0f};
+  const float d1 = jensen_shannon_divergence(p, q);
+  const float d2 = jensen_shannon_divergence(q, p);
+  EXPECT_FLOAT_EQ(d1, d2);
+  EXPECT_NEAR(d1, std::log(2.0f), 1e-5f);  // maximal for disjoint support
+}
+
+TEST(Jsd, IntermediateValue) {
+  const float p[] = {0.5f, 0.5f};
+  const float q[] = {0.9f, 0.1f};
+  const float d = jensen_shannon_divergence(p, q);
+  EXPECT_GT(d, 0.0f);
+  EXPECT_LT(d, std::log(2.0f));
+}
+
+TEST(Jsd, LengthMismatchThrows) {
+  const float p[] = {1.0f};
+  const float q[] = {0.5f, 0.5f};
+  EXPECT_THROW(jensen_shannon_divergence(p, q), std::invalid_argument);
+}
+
+TEST(JsdDetector, IdentityAeGivesZeroScores) {
+  JsdDetector d(identity_ae(), threshold_classifier(), 10.0f);
+  const auto s = d.scores(batch_of_values({0.2f, 0.8f}));
+  EXPECT_NEAR(s[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(s[1], 0.0f, 1e-6f);
+}
+
+TEST(JsdDetector, RespondsWhenAeChangesPrediction) {
+  // AE halves the pixel: x = 0.4 gives near-one-hot class-1 probabilities
+  // (logits -7, 7) while AE(x) = 0.2 gives much softer ones (logits -1, 1),
+  // so the JSD must be clearly nonzero.
+  auto ae = identity_ae();
+  ae->parameters()[0]->fill(0.5f);
+  JsdDetector d(ae, threshold_classifier(30.0f), 1.0f);
+  const auto s = d.scores(batch_of_values({0.4f}));
+  EXPECT_GT(s[0], 0.02f);
+}
+
+TEST(JsdDetector, ValidatesConstruction) {
+  EXPECT_THROW(JsdDetector(nullptr, threshold_classifier(), 10.0f),
+               std::invalid_argument);
+  EXPECT_THROW(JsdDetector(identity_ae(), nullptr, 10.0f),
+               std::invalid_argument);
+  EXPECT_THROW(JsdDetector(identity_ae(), threshold_classifier(), 0.0f),
+               std::invalid_argument);
+}
+
+// --- reformer / pipeline ----------------------------------------------------
+
+TEST(Reformer, AppliesAutoencoder) {
+  auto ae = identity_ae();
+  ae->parameters()[0]->fill(0.5f);
+  Reformer r(ae);
+  const Tensor out = r.reform(batch_of_values({0.8f}));
+  EXPECT_NEAR(out[0], 0.4f, 1e-5f);
+}
+
+TEST(Pipeline, SchemeControlsStages) {
+  auto clf = threshold_classifier();
+  MagNetPipeline pipe(clf);
+  auto det = std::make_shared<MeanDetector>();
+  det->set_threshold(0.5f);
+  pipe.add_detector(det);
+  // Reformer that halves pixels: flips classification of x in (0.5, 1.0].
+  auto ae = identity_ae();
+  ae->parameters()[0]->fill(0.5f);
+  pipe.set_reformer(std::make_shared<Reformer>(ae));
+
+  const Tensor x = batch_of_values({0.9f});  // class 1 raw, class 0 reformed
+  const auto none = pipe.classify(x, DefenseScheme::None);
+  EXPECT_FALSE(none.rejected[0]);
+  EXPECT_EQ(none.predicted[0], 1);
+
+  const auto det_only = pipe.classify(x, DefenseScheme::DetectorOnly);
+  EXPECT_TRUE(det_only.rejected[0]);
+  EXPECT_EQ(det_only.predicted[0], 1);  // reformer off
+
+  const auto ref_only = pipe.classify(x, DefenseScheme::ReformerOnly);
+  EXPECT_FALSE(ref_only.rejected[0]);
+  EXPECT_EQ(ref_only.predicted[0], 0);
+
+  const auto full = pipe.classify(x, DefenseScheme::Full);
+  EXPECT_TRUE(full.rejected[0]);
+  EXPECT_EQ(full.predicted[0], 0);
+}
+
+TEST(Pipeline, AnyDetectorCanReject) {
+  MagNetPipeline pipe(threshold_classifier());
+  auto lo = std::make_shared<MeanDetector>();
+  lo->set_threshold(10.0f);  // never fires
+  auto hi = std::make_shared<MeanDetector>();
+  hi->set_threshold(0.1f);  // fires on everything here
+  pipe.add_detector(lo);
+  pipe.add_detector(hi);
+  const auto out =
+      pipe.classify(batch_of_values({0.5f}), DefenseScheme::DetectorOnly);
+  EXPECT_TRUE(out.rejected[0]);
+}
+
+TEST(Pipeline, CleanAccuracyCountsRejectionsAsErrors) {
+  MagNetPipeline pipe(threshold_classifier());
+  auto det = std::make_shared<MeanDetector>();
+  det->set_threshold(0.55f);
+  pipe.add_detector(det);
+  // x=0.2 -> class 0 (correct, kept); x=0.9 -> class 1 (correct) but
+  // rejected by the detector.
+  const Tensor x = batch_of_values({0.2f, 0.9f});
+  const float acc = pipe.clean_accuracy(x, {0, 1}, DefenseScheme::Full);
+  EXPECT_FLOAT_EQ(acc, 0.5f);
+  // Without the detector both are right.
+  EXPECT_FLOAT_EQ(pipe.clean_accuracy(x, {0, 1}, DefenseScheme::None), 1.0f);
+}
+
+TEST(Pipeline, ValidatesConstruction) {
+  EXPECT_THROW(MagNetPipeline(nullptr), std::invalid_argument);
+  MagNetPipeline pipe(threshold_classifier());
+  EXPECT_THROW(pipe.add_detector(nullptr), std::invalid_argument);
+  EXPECT_THROW(Reformer(nullptr), std::invalid_argument);
+}
+
+// --- auto-encoder builders ---------------------------------------------------
+
+TEST(Autoencoder, ArchitecturesPreserveImageShape) {
+  Rng rng(3);
+  for (const AeArch arch :
+       {AeArch::MnistDeep, AeArch::MnistShallow}) {
+    AutoencoderConfig cfg;
+    cfg.arch = arch;
+    cfg.image_channels = 1;
+    cfg.filters = 3;
+    nn::Sequential ae = build_autoencoder(cfg, rng);
+    Tensor x({2, 1, 28, 28}, 0.5f);
+    EXPECT_EQ(ae.forward(x, false).shape(), x.shape());
+  }
+  AutoencoderConfig cfg;
+  cfg.arch = AeArch::Cifar;
+  cfg.image_channels = 3;
+  nn::Sequential ae = build_autoencoder(cfg, rng);
+  Tensor x({2, 3, 32, 32}, 0.5f);
+  EXPECT_EQ(ae.forward(x, false).shape(), x.shape());
+}
+
+TEST(Autoencoder, OutputsAreInUnitInterval) {
+  Rng rng(4);
+  AutoencoderConfig cfg;
+  nn::Sequential ae = build_autoencoder(cfg, rng);
+  Tensor x({1, 1, 28, 28});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  const Tensor y = ae.forward(x, false);
+  EXPECT_GE(min_value(y), 0.0f);
+  EXPECT_LE(max_value(y), 1.0f);
+}
+
+TEST(Autoencoder, DeepArchHasBottleneck) {
+  // The deep architecture must contain the pool/upsample pair.
+  Rng rng(5);
+  AutoencoderConfig cfg;
+  cfg.arch = AeArch::MnistDeep;
+  nn::Sequential deep = build_autoencoder(cfg, rng);
+  cfg.arch = AeArch::MnistShallow;
+  nn::Sequential shallow = build_autoencoder(cfg, rng);
+  EXPECT_GT(deep.size(), shallow.size());
+}
+
+TEST(MeanReconstructionError, ZeroForIdentity) {
+  auto ae = identity_ae();
+  Tensor x({4, 1, 1, 1}, 0.7f);
+  EXPECT_NEAR(mean_reconstruction_error(*ae, x), 0.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace adv::magnet

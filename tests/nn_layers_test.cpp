@@ -1,0 +1,462 @@
+// Layer tests: output shapes, semantics, and numerical gradient checks.
+//
+// The gradient check validates BOTH parameter gradients and the gradient
+// with respect to the layer input — the input path is what every attack
+// in this library differentiates through.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/softmax.hpp"
+#include "nn/structural.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace adv::nn {
+namespace {
+
+/// Scalar objective L = sum(w .* layer(x)) with fixed random w; compares
+/// the analytic input/parameter gradients to central differences.
+void check_gradients(Layer& layer, const Tensor& input, std::uint64_t seed,
+                     float eps = 1e-3f, float tol = 2e-2f) {
+  Tensor x = input;
+  Tensor out = layer.forward(x, /*training=*/false);
+  Tensor w(out.shape());
+  Rng rng(seed);
+  fill_uniform(w, rng, -1.0f, 1.0f);
+
+  layer.zero_grad();
+  layer.forward(x, false);
+  const Tensor dx = layer.backward(w);
+  ASSERT_EQ(dx.shape(), x.shape());
+
+  auto objective = [&](const Tensor& probe) {
+    const Tensor y = layer.forward(probe, false);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(w[i]) * y[i];
+    }
+    return acc;
+  };
+
+  // Input gradient, spot-checked on a deterministic subset of entries.
+  const std::size_t stride = std::max<std::size_t>(1, x.numel() / 24);
+  for (std::size_t i = 0; i < x.numel(); i += stride) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double num = (objective(xp) - objective(xm)) / (2.0 * eps);
+    EXPECT_NEAR(dx[i], num, tol) << "input grad mismatch at " << i;
+  }
+
+  // Parameter gradients.
+  layer.zero_grad();
+  layer.forward(x, false);
+  layer.backward(w);
+  const auto params = layer.parameters();
+  const auto grads = layer.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& param = *params[p];
+    const Tensor& grad = *grads[p];
+    const std::size_t pstride = std::max<std::size_t>(1, param.numel() / 16);
+    for (std::size_t i = 0; i < param.numel(); i += pstride) {
+      const float orig = param[i];
+      param[i] = orig + eps;
+      const double up = objective(x);
+      param[i] = orig - eps;
+      const double dn = objective(x);
+      param[i] = orig;
+      const double num = (up - dn) / (2.0 * eps);
+      EXPECT_NEAR(grad[i], num, tol)
+          << "param " << p << " grad mismatch at " << i;
+    }
+  }
+}
+
+Tensor random_input(Shape shape, std::uint64_t seed, float lo = -1.0f,
+                    float hi = 1.0f) {
+  Tensor t{std::move(shape)};
+  Rng rng(seed);
+  fill_uniform(t, rng, lo, hi);
+  return t;
+}
+
+// --- activations -------------------------------------------------------
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor x = Tensor::from_data(Shape({4}), {-1.0f, 0.0f, 0.5f, 2.0f});
+  Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.5f);
+  EXPECT_FLOAT_EQ(y[3], 2.0f);
+}
+
+TEST(ReLUTest, GradientCheck) {
+  ReLU relu;
+  // Keep inputs away from the kink at 0 for a clean finite difference.
+  Tensor x = random_input({2, 7}, 21);
+  for (float& v : x.values()) {
+    if (std::fabs(v) < 0.05f) v += 0.1f;
+  }
+  check_gradients(relu, x, 22);
+}
+
+TEST(LeakyReLUTest, NegativeSlopeApplied) {
+  LeakyReLU lrelu(0.1f);
+  Tensor x = Tensor::from_data(Shape({2}), {-2.0f, 3.0f});
+  Tensor y = lrelu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+}
+
+TEST(LeakyReLUTest, GradientCheck) {
+  LeakyReLU lrelu(0.2f);
+  Tensor x = random_input({3, 5}, 31);
+  for (float& v : x.values()) {
+    if (std::fabs(v) < 0.05f) v += 0.1f;
+  }
+  check_gradients(lrelu, x, 32);
+}
+
+TEST(SigmoidTest, MapsToUnitInterval) {
+  Sigmoid sig;
+  Tensor x = Tensor::from_data(Shape({3}), {-10.0f, 0.0f, 10.0f});
+  Tensor y = sig.forward(x, false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-4f);
+}
+
+TEST(SigmoidTest, GradientCheck) {
+  Sigmoid sig;
+  check_gradients(sig, random_input({2, 6}, 41), 42);
+}
+
+TEST(TanhTest, GradientCheck) {
+  Tanh t;
+  check_gradients(t, random_input({2, 6}, 51), 52);
+}
+
+TEST(ActivationTest, BackwardShapeMismatchThrows) {
+  ReLU relu;
+  relu.forward(Tensor({2, 3}), false);
+  EXPECT_THROW(relu.backward(Tensor({3, 2})), std::invalid_argument);
+}
+
+// --- linear ------------------------------------------------------------
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  Rng rng(61);
+  Linear lin(2, 3, rng);
+  // Overwrite parameters with known values.
+  Tensor& w = *lin.parameters()[0];
+  Tensor& b = *lin.parameters()[1];
+  w = Tensor::from_data(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  b = Tensor::from_data(Shape({3}), {10, 20, 30});
+  Tensor x = Tensor::from_data(Shape({1, 2}), {1, 1});
+  Tensor y = lin.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 15.0f);
+  EXPECT_FLOAT_EQ(y[1], 27.0f);
+  EXPECT_FLOAT_EQ(y[2], 39.0f);
+}
+
+TEST(LinearTest, RejectsWrongInputWidth) {
+  Rng rng(62);
+  Linear lin(4, 2, rng);
+  EXPECT_THROW(lin.forward(Tensor({1, 3}), false), std::invalid_argument);
+}
+
+TEST(LinearTest, GradientCheck) {
+  Rng rng(63);
+  Linear lin(5, 4, rng);
+  check_gradients(lin, random_input({3, 5}, 64), 65);
+}
+
+TEST(LinearTest, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(66);
+  Linear lin(2, 2, rng);
+  Tensor x({1, 2}, 1.0f);
+  Tensor g({1, 2}, 1.0f);
+  lin.zero_grad();
+  lin.forward(x, false);
+  lin.backward(g);
+  const Tensor once = *lin.gradients()[0];
+  lin.forward(x, false);
+  lin.backward(g);
+  const Tensor twice = *lin.gradients()[0];
+  for (std::size_t i = 0; i < once.numel(); ++i) {
+    EXPECT_FLOAT_EQ(twice[i], 2.0f * once[i]);
+  }
+}
+
+// --- conv --------------------------------------------------------------
+
+TEST(Conv2dTest, SamePaddingPreservesSpatialDims) {
+  Rng rng(71);
+  Conv2d conv(Conv2d::same(2, 4), rng);
+  Tensor x = random_input({3, 2, 8, 8}, 72);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({3, 4, 8, 8}));
+}
+
+TEST(Conv2dTest, ValidPaddingShrinksDims) {
+  Rng rng(73);
+  Conv2d conv(Conv2dConfig{1, 2, 3, 1, 0}, rng);
+  Tensor y = conv.forward(random_input({1, 1, 6, 5}, 74), false);
+  EXPECT_EQ(y.shape(), Shape({1, 2, 4, 3}));
+}
+
+TEST(Conv2dTest, StrideTwoHalvesDims) {
+  Rng rng(75);
+  Conv2d conv(Conv2dConfig{1, 2, 3, 2, 1}, rng);
+  Tensor y = conv.forward(random_input({1, 1, 8, 8}, 76), false);
+  EXPECT_EQ(y.shape(), Shape({1, 2, 4, 4}));
+}
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  Rng rng(77);
+  Conv2d conv(Conv2d::same(1, 1), rng);
+  Tensor& w = *conv.parameters()[0];
+  w.fill(0.0f);
+  w[4] = 1.0f;  // center tap of the 3x3 kernel
+  conv.parameters()[1]->fill(0.0f);
+  Tensor x = random_input({1, 1, 5, 5}, 78);
+  Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_NEAR(y[i], x[i], 1e-5f);
+}
+
+TEST(Conv2dTest, KnownConvolutionValue) {
+  Rng rng(79);
+  Conv2d conv(Conv2dConfig{1, 1, 2, 1, 0}, rng);
+  *conv.parameters()[0] = Tensor::from_data(Shape({1, 4}), {1, 1, 1, 1});
+  conv.parameters()[1]->fill(0.5f);
+  Tensor x = Tensor::from_data(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 10.5f);
+}
+
+class Conv2dGradient
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Conv2dGradient, MatchesNumericGradient) {
+  const auto [in_c, out_c, stride, padding] = GetParam();
+  Rng rng(81);
+  Conv2d conv(Conv2dConfig{static_cast<std::size_t>(in_c),
+                           static_cast<std::size_t>(out_c), 3,
+                           static_cast<std::size_t>(stride),
+                           static_cast<std::size_t>(padding)},
+              rng);
+  Tensor x = random_input({2, static_cast<std::size_t>(in_c), 7, 7}, 82);
+  check_gradients(conv, x, 83);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, Conv2dGradient,
+                         ::testing::Values(std::tuple{1, 2, 1, 1},
+                                           std::tuple{2, 3, 1, 0},
+                                           std::tuple{3, 1, 1, 1},
+                                           std::tuple{1, 4, 2, 1}));
+
+TEST(Conv2dTest, RejectsWrongChannelCount) {
+  Rng rng(84);
+  Conv2d conv(Conv2d::same(3, 4), rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 2, 8, 8}), false),
+               std::invalid_argument);
+}
+
+TEST(Conv2dTest, Im2ColColToImAreAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property the conv backward pass depends on.
+  const std::size_t C = 2, H = 5, W = 6, K = 3, S = 1, P = 1;
+  const std::size_t oh = (H + 2 * P - K) / S + 1, ow = (W + 2 * P - K) / S + 1;
+  const std::size_t rows = C * K * K, cols = oh * ow;
+  Rng rng(85);
+  Tensor x({C, H, W});
+  Tensor y({rows, cols});
+  fill_normal(x, rng, 0.0f, 1.0f);
+  fill_normal(y, rng, 0.0f, 1.0f);
+  Tensor colx({rows, cols});
+  im2col(x.data(), C, H, W, K, S, P, colx.data());
+  Tensor xty({C, H, W});
+  col2im(y.data(), C, H, W, K, S, P, xty.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < colx.numel(); ++i) {
+    lhs += static_cast<double>(colx[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * xty[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+// --- pooling / upsample -------------------------------------------------
+
+TEST(AvgPool2dTest, AveragesWindows) {
+  AvgPool2d pool(2);
+  Tensor x = Tensor::from_data(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPool2dTest, GradientCheck) {
+  AvgPool2d pool(2);
+  check_gradients(pool, random_input({2, 2, 4, 4}, 91), 92);
+}
+
+TEST(AvgPool2dTest, RejectsIndivisibleDims) {
+  AvgPool2d pool(2);
+  EXPECT_THROW(pool.forward(Tensor({1, 1, 5, 4}), false),
+               std::invalid_argument);
+}
+
+TEST(MaxPool2dTest, TakesWindowMaximum) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from_data(Shape({1, 1, 2, 4}), {1, 5, 2, 0, 3, 4, 1, 9});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 9.0f);
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from_data(Shape({1, 1, 2, 2}), {1, 5, 2, 0});
+  pool.forward(x, false);
+  Tensor g({1, 1, 1, 1}, 3.0f);
+  Tensor dx = pool.backward(g);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 3.0f);
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+}
+
+TEST(MaxPool2dTest, GradientCheck) {
+  MaxPool2d pool(2);
+  // Distinct values so the argmax is stable under the probe epsilon.
+  Tensor x({1, 2, 4, 4});
+  Rng rng(93);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(i % 7) + 0.3f * rng.uniform_f(0.0f, 1.0f);
+  }
+  check_gradients(pool, x, 94);
+}
+
+TEST(Upsample2dTest, RepeatsPixels) {
+  Upsample2d up(2);
+  Tensor x = Tensor::from_data(Shape({1, 1, 1, 2}), {1, 2});
+  Tensor y = up.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 4}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 2), 2.0f);
+}
+
+TEST(Upsample2dTest, GradientCheck) {
+  Upsample2d up(2);
+  check_gradients(up, random_input({2, 2, 3, 3}, 95), 96);
+}
+
+TEST(PoolUpsampleTest, UpsampleUndoesAvgPoolOnConstantImages) {
+  AvgPool2d pool(2);
+  Upsample2d up(2);
+  Tensor x({1, 1, 4, 4}, 3.7f);
+  Tensor y = up.forward(pool.forward(x, false), false);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (float v : y.values()) EXPECT_FLOAT_EQ(v, 3.7f);
+}
+
+// --- structural ---------------------------------------------------------
+
+TEST(FlattenTest, CollapsesTrailingDims) {
+  Flatten f;
+  Tensor x({2, 3, 4, 5});
+  Tensor y = f.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 60}));
+  Tensor dx = f.backward(Tensor({2, 60}, 1.0f));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Dropout d(0.5f, 7);
+  Tensor x = random_input({4, 8}, 97);
+  Tensor y = d.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+  Tensor g = random_input({4, 8}, 98);
+  Tensor dx = d.backward(g);
+  for (std::size_t i = 0; i < g.numel(); ++i) EXPECT_FLOAT_EQ(dx[i], g[i]);
+}
+
+TEST(DropoutTest, TrainModeZerosAndRescales) {
+  Dropout d(0.5f, 7);
+  Tensor x({1, 1000}, 1.0f);
+  Tensor y = d.forward(x, /*training=*/true);
+  std::size_t zeros = 0;
+  for (float v : y.values()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.07);
+}
+
+TEST(DropoutTest, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1f, 1), std::invalid_argument);
+}
+
+// --- softmax -------------------------------------------------------------
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor logits = random_input({5, 10}, 99, -5.0f, 5.0f);
+  Tensor p = softmax_rows(logits);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < 10; ++k) s += p[r * 10 + k];
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, TemperatureFlattensDistribution) {
+  Tensor logits = Tensor::from_data(Shape({1, 3}), {0.0f, 1.0f, 5.0f});
+  Tensor sharp = softmax_rows(logits, 1.0f);
+  Tensor flat = softmax_rows(logits, 40.0f);
+  EXPECT_GT(sharp[2], flat[2]);
+  EXPECT_LT(sharp[0], flat[0]);
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Tensor logits = Tensor::from_data(Shape({1, 2}), {1000.0f, 1001.0f});
+  Tensor p = softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor logits = random_input({3, 6}, 100, -3.0f, 3.0f);
+  Tensor p = softmax_rows(logits);
+  Tensor lp = log_softmax_rows(logits);
+  for (std::size_t i = 0; i < p.numel(); ++i) {
+    EXPECT_NEAR(lp[i], std::log(p[i]), 1e-4f);
+  }
+}
+
+TEST(SoftmaxTest, InvalidInputsThrow) {
+  EXPECT_THROW(softmax_rows(Tensor({5})), std::invalid_argument);
+  EXPECT_THROW(softmax_rows(Tensor({2, 3}), 0.0f), std::invalid_argument);
+  EXPECT_THROW(log_softmax_rows(Tensor({5})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adv::nn

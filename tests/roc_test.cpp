@@ -1,0 +1,76 @@
+// ROC utility tests.
+#include <gtest/gtest.h>
+
+#include "core/roc.hpp"
+#include "tensor/rng.hpp"
+
+namespace adv::core {
+namespace {
+
+TEST(Roc, PerfectlySeparableGivesAucOne) {
+  const std::vector<float> clean = {0.1f, 0.2f, 0.3f};
+  const std::vector<float> adv = {0.7f, 0.8f, 0.9f};
+  EXPECT_FLOAT_EQ(roc_auc(clean, adv), 1.0f);
+  EXPECT_FLOAT_EQ(tpr_at_fpr(clean, adv, 0.01f), 1.0f);
+}
+
+TEST(Roc, InvertedScoresGiveAucZero) {
+  const std::vector<float> clean = {0.7f, 0.8f, 0.9f};
+  const std::vector<float> adv = {0.1f, 0.2f, 0.3f};
+  EXPECT_FLOAT_EQ(roc_auc(clean, adv), 0.0f);
+  EXPECT_FLOAT_EQ(tpr_at_fpr(clean, adv, 0.01f), 0.0f);
+}
+
+TEST(Roc, IdenticalDistributionsNearChance) {
+  Rng rng(5);
+  std::vector<float> clean(2000), adv(2000);
+  for (auto& v : clean) v = rng.uniform_f(0.0f, 1.0f);
+  for (auto& v : adv) v = rng.uniform_f(0.0f, 1.0f);
+  EXPECT_NEAR(roc_auc(clean, adv), 0.5f, 0.03f);
+}
+
+TEST(Roc, CurveIsMonotoneAndAnchored) {
+  Rng rng(6);
+  std::vector<float> clean(100), adv(100);
+  for (auto& v : clean) v = rng.uniform_f(0.0f, 0.8f);
+  for (auto& v : adv) v = rng.uniform_f(0.2f, 1.0f);
+  const auto curve = roc_curve(clean, adv);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_FLOAT_EQ(curve.front().fpr, 0.0f);
+  EXPECT_FLOAT_EQ(curve.front().tpr, 0.0f);
+  EXPECT_FLOAT_EQ(curve.back().fpr, 1.0f);
+  EXPECT_FLOAT_EQ(curve.back().tpr, 1.0f);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+TEST(Roc, TiedScoresHandledConsistently) {
+  // All scores identical: a single threshold step from (0,0) to (1,1);
+  // AUC is 0.5 by trapezoid.
+  const std::vector<float> clean = {0.5f, 0.5f};
+  const std::vector<float> adv = {0.5f, 0.5f};
+  EXPECT_FLOAT_EQ(roc_auc(clean, adv), 0.5f);
+}
+
+TEST(Roc, TprAtFprIsMonotoneInFpr) {
+  Rng rng(7);
+  std::vector<float> clean(300), adv(300);
+  for (auto& v : clean) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& v : adv) v = static_cast<float>(rng.normal(1.0, 1.0));
+  float prev = -1.0f;
+  for (const float f : {0.01f, 0.05f, 0.2f, 0.5f}) {
+    const float t = tpr_at_fpr(clean, adv, f);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Roc, EmptyInputsThrow) {
+  EXPECT_THROW(roc_curve({}, {1.0f}), std::invalid_argument);
+  EXPECT_THROW(roc_auc({1.0f}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adv::core

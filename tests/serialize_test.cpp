@@ -1,0 +1,91 @@
+// Tensor serialization round trips and failure modes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "tensor/rng.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace adv {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "adv_serialize_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesShapesAndValues) {
+  Rng rng(5);
+  Tensor a({3, 4, 5});
+  Tensor b({7});
+  Tensor c({2, 1, 8, 8});
+  fill_normal(a, rng, 0.0f, 1.0f);
+  fill_normal(b, rng, 0.0f, 1.0f);
+  fill_normal(c, rng, 0.0f, 1.0f);
+  const auto path = dir_ / "trip.bin";
+  save_tensors(path, {a, b, c});
+  const auto loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].shape(), a.shape());
+  EXPECT_EQ(loaded[1].shape(), b.shape());
+  EXPECT_EQ(loaded[2].shape(), c.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(loaded[0][i], a[i]);
+  }
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_FLOAT_EQ(loaded[2][i], c[i]);
+  }
+}
+
+TEST_F(SerializeTest, EmptyCollectionRoundTrips) {
+  const auto path = dir_ / "empty.bin";
+  save_tensors(path, {});
+  EXPECT_TRUE(load_tensors(path).empty());
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_tensors(dir_ / "nonexistent.bin"), std::runtime_error);
+}
+
+TEST_F(SerializeTest, BadMagicThrows) {
+  const auto path = dir_ / "bad_magic.bin";
+  std::ofstream os(path, std::ios::binary);
+  const std::uint32_t junk = 0xdeadbeef;
+  os.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  os.close();
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncatedFileThrows) {
+  const auto path = dir_ / "trunc.bin";
+  Tensor a({10, 10}, 1.0f);
+  save_tensors(path, {a});
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, CreatesParentDirectories) {
+  const auto path = dir_ / "nested" / "deep" / "file.bin";
+  save_tensors(path, {Tensor({2}, 1.0f)});
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST_F(SerializeTest, StreamLevelRoundTrip) {
+  std::stringstream ss;
+  Tensor t = Tensor::from_data(Shape({2, 2}), {1, 2, 3, 4});
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(back[i], t[i]);
+}
+
+}  // namespace
+}  // namespace adv

@@ -1,0 +1,114 @@
+// Tests for ThreadPool: exact coverage, chunk indexing, determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "tensor/thread_pool.hpp"
+
+namespace adv {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::size_t total = 0;
+  pool.parallel_for(0, 100, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) total += i;
+  });
+  EXPECT_EQ(total, 4950u);
+}
+
+TEST(ThreadPool, MoreThreadsThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, IndexedChunksAreDenseAndDisjoint) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::size_t> chunk_of(100, 999);
+  std::vector<std::size_t> chunks_seen;
+  pool.parallel_for_indexed(
+      0, 100, [&](std::size_t chunk, std::size_t b, std::size_t e) {
+        std::lock_guard lock(m);
+        chunks_seen.push_back(chunk);
+        for (std::size_t i = b; i < e; ++i) chunk_of[i] = chunk;
+      });
+  for (std::size_t c : chunks_seen) EXPECT_LT(c, pool.max_chunks());
+  for (std::size_t c : chunk_of) EXPECT_NE(c, 999u);
+  // Chunks are contiguous: indices mapping to the same chunk are adjacent.
+  for (std::size_t i = 1; i < 100; ++i) {
+    if (chunk_of[i] != chunk_of[i - 1]) {
+      EXPECT_GT(chunk_of[i], chunk_of[i - 1]);
+    }
+  }
+}
+
+TEST(ThreadPool, DeterministicPartitioning) {
+  // The chunk boundaries must be a pure function of (range, threads).
+  ThreadPool pool(3);
+  auto capture = [&] {
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    pool.parallel_for(0, 77, [&](std::size_t b, std::size_t e) {
+      std::lock_guard lock(m);
+      spans.emplace_back(b, e);
+    });
+    std::sort(spans.begin(), spans.end());
+    return spans;
+  };
+  EXPECT_EQ(capture(), capture());
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(0, 64, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(e - b);
+    });
+    EXPECT_EQ(total.load(), 64u);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelReductionPerChunkIsExact) {
+  ThreadPool pool(4);
+  std::vector<double> partial(pool.max_chunks(), 0.0);
+  pool.parallel_for_indexed(1, 1001,
+                            [&](std::size_t c, std::size_t b, std::size_t e) {
+                              for (std::size_t i = b; i < e; ++i) {
+                                partial[c] += static_cast<double>(i);
+                              }
+                            });
+  const double total = std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 500500.0);
+}
+
+}  // namespace
+}  // namespace adv

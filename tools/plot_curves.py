@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Render the bench_results/*.csv sweep curves as ASCII plots.
+
+The bench binaries print aligned tables and write CSVs; this helper gives
+a quick visual check of curve shapes (the paper's figures) without any
+plotting dependencies.
+
+Usage:
+    python3 tools/plot_curves.py bench_results/fig2_a_default.csv ...
+    python3 tools/plot_curves.py bench_results/*.csv
+"""
+import csv
+import sys
+
+HEIGHT = 16
+WIDTH = 60
+MARKS = "ox+*#@%&"
+
+
+def load(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    header = rows[0]
+    kappas = [float(r[0]) for r in rows[1:]]
+    series = {
+        name: [float(r[i + 1]) for r in rows[1:]]
+        for i, name in enumerate(header[1:])
+    }
+    return kappas, series
+
+
+def plot(path):
+    kappas, series = load(path)
+    print(f"\n== {path} ==")
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    kmin, kmax = min(kappas), max(kappas) or 1.0
+
+    def col(k):
+        if kmax == kmin:
+            return 0
+        return round((k - kmin) / (kmax - kmin) * (WIDTH - 1))
+
+    def row(acc):
+        return HEIGHT - 1 - round(acc / 100.0 * (HEIGHT - 1))
+
+    for si, (name, values) in enumerate(series.items()):
+        mark = MARKS[si % len(MARKS)]
+        for k, v in zip(kappas, values):
+            r, c = row(max(0.0, min(100.0, v))), col(k)
+            grid[r][c] = mark
+
+    for i, line in enumerate(grid):
+        label = "100%" if i == 0 else ("  0%" if i == HEIGHT - 1 else "    ")
+        print(f"{label} |{''.join(line)}")
+    print("     +" + "-" * WIDTH)
+    print(f"      kappa {kmin:g} .. {kmax:g}")
+    for si, name in enumerate(series):
+        print(f"      {MARKS[si % len(MARKS)]} = {name}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    for path in argv[1:]:
+        plot(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
