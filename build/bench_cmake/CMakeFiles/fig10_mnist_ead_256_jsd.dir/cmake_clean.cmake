@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_mnist_ead_256_jsd"
+  "../bench/fig10_mnist_ead_256_jsd.pdb"
+  "CMakeFiles/fig10_mnist_ead_256_jsd.dir/fig10_mnist_ead_256_jsd.cpp.o"
+  "CMakeFiles/fig10_mnist_ead_256_jsd.dir/fig10_mnist_ead_256_jsd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mnist_ead_256_jsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

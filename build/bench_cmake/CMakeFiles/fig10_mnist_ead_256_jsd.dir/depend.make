@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_mnist_ead_256_jsd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_cifar_ead_256"
+  "../bench/fig11_cifar_ead_256.pdb"
+  "CMakeFiles/fig11_cifar_ead_256.dir/fig11_cifar_ead_256.cpp.o"
+  "CMakeFiles/fig11_cifar_ead_256.dir/fig11_cifar_ead_256.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cifar_ead_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

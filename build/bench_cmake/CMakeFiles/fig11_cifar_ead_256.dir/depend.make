@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_cifar_ead_256.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_mnist_loss_ablation"
+  "../bench/fig12_mnist_loss_ablation.pdb"
+  "CMakeFiles/fig12_mnist_loss_ablation.dir/fig12_mnist_loss_ablation.cpp.o"
+  "CMakeFiles/fig12_mnist_loss_ablation.dir/fig12_mnist_loss_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mnist_loss_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

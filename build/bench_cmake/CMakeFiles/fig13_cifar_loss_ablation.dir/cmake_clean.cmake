@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_cifar_loss_ablation"
+  "../bench/fig13_cifar_loss_ablation.pdb"
+  "CMakeFiles/fig13_cifar_loss_ablation.dir/fig13_cifar_loss_ablation.cpp.o"
+  "CMakeFiles/fig13_cifar_loss_ablation.dir/fig13_cifar_loss_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cifar_loss_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

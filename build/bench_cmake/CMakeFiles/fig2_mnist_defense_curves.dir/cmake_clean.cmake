@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_mnist_defense_curves"
+  "../bench/fig2_mnist_defense_curves.pdb"
+  "CMakeFiles/fig2_mnist_defense_curves.dir/fig2_mnist_defense_curves.cpp.o"
+  "CMakeFiles/fig2_mnist_defense_curves.dir/fig2_mnist_defense_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mnist_defense_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

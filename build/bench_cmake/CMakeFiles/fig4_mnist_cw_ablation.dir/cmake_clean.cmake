@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_mnist_cw_ablation"
+  "../bench/fig4_mnist_cw_ablation.pdb"
+  "CMakeFiles/fig4_mnist_cw_ablation.dir/fig4_mnist_cw_ablation.cpp.o"
+  "CMakeFiles/fig4_mnist_cw_ablation.dir/fig4_mnist_cw_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mnist_cw_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

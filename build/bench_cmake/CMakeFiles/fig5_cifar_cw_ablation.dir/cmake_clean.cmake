@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_cifar_cw_ablation"
+  "../bench/fig5_cifar_cw_ablation.pdb"
+  "CMakeFiles/fig5_cifar_cw_ablation.dir/fig5_cifar_cw_ablation.cpp.o"
+  "CMakeFiles/fig5_cifar_cw_ablation.dir/fig5_cifar_cw_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cifar_cw_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

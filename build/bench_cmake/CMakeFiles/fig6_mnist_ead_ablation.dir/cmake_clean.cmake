@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_mnist_ead_ablation"
+  "../bench/fig6_mnist_ead_ablation.pdb"
+  "CMakeFiles/fig6_mnist_ead_ablation.dir/fig6_mnist_ead_ablation.cpp.o"
+  "CMakeFiles/fig6_mnist_ead_ablation.dir/fig6_mnist_ead_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mnist_ead_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

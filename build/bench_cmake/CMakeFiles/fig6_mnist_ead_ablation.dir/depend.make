@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_mnist_ead_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_cifar_ead_ablation"
+  "../bench/fig7_cifar_ead_ablation.pdb"
+  "CMakeFiles/fig7_cifar_ead_ablation.dir/fig7_cifar_ead_ablation.cpp.o"
+  "CMakeFiles/fig7_cifar_ead_ablation.dir/fig7_cifar_ead_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cifar_ead_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

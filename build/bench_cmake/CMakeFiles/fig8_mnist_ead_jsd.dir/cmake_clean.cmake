@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_mnist_ead_jsd"
+  "../bench/fig8_mnist_ead_jsd.pdb"
+  "CMakeFiles/fig8_mnist_ead_jsd.dir/fig8_mnist_ead_jsd.cpp.o"
+  "CMakeFiles/fig8_mnist_ead_jsd.dir/fig8_mnist_ead_jsd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mnist_ead_jsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_mnist_ead_256"
+  "../bench/fig9_mnist_ead_256.pdb"
+  "CMakeFiles/fig9_mnist_ead_256.dir/fig9_mnist_ead_256.cpp.o"
+  "CMakeFiles/fig9_mnist_ead_256.dir/fig9_mnist_ead_256.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mnist_ead_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

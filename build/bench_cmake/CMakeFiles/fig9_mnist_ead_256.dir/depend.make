@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_mnist_ead_256.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_attack_comparison"
+  "../bench/table1_attack_comparison.pdb"
+  "CMakeFiles/table1_attack_comparison.dir/table1_attack_comparison.cpp.o"
+  "CMakeFiles/table1_attack_comparison.dir/table1_attack_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_attack_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

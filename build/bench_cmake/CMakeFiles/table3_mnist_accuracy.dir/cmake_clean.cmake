@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_mnist_accuracy"
+  "../bench/table3_mnist_accuracy.pdb"
+  "CMakeFiles/table3_mnist_accuracy.dir/table3_mnist_accuracy.cpp.o"
+  "CMakeFiles/table3_mnist_accuracy.dir/table3_mnist_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mnist_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_mnist_best_asr"
+  "../bench/table4_mnist_best_asr.pdb"
+  "CMakeFiles/table4_mnist_best_asr.dir/table4_mnist_best_asr.cpp.o"
+  "CMakeFiles/table4_mnist_best_asr.dir/table4_mnist_best_asr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mnist_best_asr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table4_mnist_best_asr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_cifar_accuracy"
+  "../bench/table6_cifar_accuracy.pdb"
+  "CMakeFiles/table6_cifar_accuracy.dir/table6_cifar_accuracy.cpp.o"
+  "CMakeFiles/table6_cifar_accuracy.dir/table6_cifar_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cifar_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

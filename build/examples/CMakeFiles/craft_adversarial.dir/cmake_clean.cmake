@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_adversarial.dir/craft_adversarial.cpp.o"
+  "CMakeFiles/craft_adversarial.dir/craft_adversarial.cpp.o.d"
+  "craft_adversarial"
+  "craft_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

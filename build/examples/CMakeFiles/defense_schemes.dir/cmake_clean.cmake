@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_schemes.dir/defense_schemes.cpp.o"
+  "CMakeFiles/defense_schemes.dir/defense_schemes.cpp.o.d"
+  "defense_schemes"
+  "defense_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

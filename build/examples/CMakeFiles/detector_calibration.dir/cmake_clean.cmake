@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_calibration.dir/detector_calibration.cpp.o"
+  "CMakeFiles/detector_calibration.dir/detector_calibration.cpp.o.d"
+  "detector_calibration"
+  "detector_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

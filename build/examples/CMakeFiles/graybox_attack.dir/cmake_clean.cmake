@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graybox_attack.dir/graybox_attack.cpp.o"
+  "CMakeFiles/graybox_attack.dir/graybox_attack.cpp.o.d"
+  "graybox_attack"
+  "graybox_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graybox_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/common.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/common.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/common.cpp.o.d"
+  "/root/repo/src/attacks/cw.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/cw.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/cw.cpp.o.d"
+  "/root/repo/src/attacks/deepfool.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/deepfool.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/deepfool.cpp.o.d"
+  "/root/repo/src/attacks/ead.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/ead.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/ead.cpp.o.d"
+  "/root/repo/src/attacks/fgsm.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/fgsm.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/fgsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/adv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_attacks.dir/common.cpp.o"
+  "CMakeFiles/adv_attacks.dir/common.cpp.o.d"
+  "CMakeFiles/adv_attacks.dir/cw.cpp.o"
+  "CMakeFiles/adv_attacks.dir/cw.cpp.o.d"
+  "CMakeFiles/adv_attacks.dir/deepfool.cpp.o"
+  "CMakeFiles/adv_attacks.dir/deepfool.cpp.o.d"
+  "CMakeFiles/adv_attacks.dir/ead.cpp.o"
+  "CMakeFiles/adv_attacks.dir/ead.cpp.o.d"
+  "CMakeFiles/adv_attacks.dir/fgsm.cpp.o"
+  "CMakeFiles/adv_attacks.dir/fgsm.cpp.o.d"
+  "libadv_attacks.a"
+  "libadv_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

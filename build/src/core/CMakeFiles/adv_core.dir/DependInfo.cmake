@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/adv_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/adv_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/adv_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/adv_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/magnet_factory.cpp" "src/core/CMakeFiles/adv_core.dir/magnet_factory.cpp.o" "gcc" "src/core/CMakeFiles/adv_core.dir/magnet_factory.cpp.o.d"
+  "/root/repo/src/core/model_zoo.cpp" "src/core/CMakeFiles/adv_core.dir/model_zoo.cpp.o" "gcc" "src/core/CMakeFiles/adv_core.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/core/roc.cpp" "src/core/CMakeFiles/adv_core.dir/roc.cpp.o" "gcc" "src/core/CMakeFiles/adv_core.dir/roc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/adv_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/magnet/CMakeFiles/adv_magnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_core.dir/config.cpp.o"
+  "CMakeFiles/adv_core.dir/config.cpp.o.d"
+  "CMakeFiles/adv_core.dir/evaluation.cpp.o"
+  "CMakeFiles/adv_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/adv_core.dir/magnet_factory.cpp.o"
+  "CMakeFiles/adv_core.dir/magnet_factory.cpp.o.d"
+  "CMakeFiles/adv_core.dir/model_zoo.cpp.o"
+  "CMakeFiles/adv_core.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/adv_core.dir/roc.cpp.o"
+  "CMakeFiles/adv_core.dir/roc.cpp.o.d"
+  "libadv_core.a"
+  "libadv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_data.dir/dataset.cpp.o"
+  "CMakeFiles/adv_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/adv_data.dir/image_io.cpp.o"
+  "CMakeFiles/adv_data.dir/image_io.cpp.o.d"
+  "CMakeFiles/adv_data.dir/syn_digits.cpp.o"
+  "CMakeFiles/adv_data.dir/syn_digits.cpp.o.d"
+  "CMakeFiles/adv_data.dir/syn_objects.cpp.o"
+  "CMakeFiles/adv_data.dir/syn_objects.cpp.o.d"
+  "libadv_data.a"
+  "libadv_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

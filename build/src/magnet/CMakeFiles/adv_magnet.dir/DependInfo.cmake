@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/magnet/autoencoder.cpp" "src/magnet/CMakeFiles/adv_magnet.dir/autoencoder.cpp.o" "gcc" "src/magnet/CMakeFiles/adv_magnet.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/magnet/detector.cpp" "src/magnet/CMakeFiles/adv_magnet.dir/detector.cpp.o" "gcc" "src/magnet/CMakeFiles/adv_magnet.dir/detector.cpp.o.d"
+  "/root/repo/src/magnet/pipeline.cpp" "src/magnet/CMakeFiles/adv_magnet.dir/pipeline.cpp.o" "gcc" "src/magnet/CMakeFiles/adv_magnet.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/adv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

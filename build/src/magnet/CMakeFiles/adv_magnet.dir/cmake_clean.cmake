@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_magnet.dir/autoencoder.cpp.o"
+  "CMakeFiles/adv_magnet.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/adv_magnet.dir/detector.cpp.o"
+  "CMakeFiles/adv_magnet.dir/detector.cpp.o.d"
+  "CMakeFiles/adv_magnet.dir/pipeline.cpp.o"
+  "CMakeFiles/adv_magnet.dir/pipeline.cpp.o.d"
+  "libadv_magnet.a"
+  "libadv_magnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_magnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

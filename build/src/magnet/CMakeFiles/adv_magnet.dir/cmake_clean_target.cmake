@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadv_magnet.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/adv_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/adv_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/adv_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/adv_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/adv_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/adv_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/adv_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/nn/CMakeFiles/adv_nn.dir/softmax.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/softmax.cpp.o.d"
+  "/root/repo/src/nn/structural.cpp" "src/nn/CMakeFiles/adv_nn.dir/structural.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/structural.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/adv_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/adv_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_nn.dir/activations.cpp.o"
+  "CMakeFiles/adv_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/adv_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/linear.cpp.o"
+  "CMakeFiles/adv_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/loss.cpp.o"
+  "CMakeFiles/adv_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/adv_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/pool.cpp.o"
+  "CMakeFiles/adv_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/sequential.cpp.o"
+  "CMakeFiles/adv_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/softmax.cpp.o"
+  "CMakeFiles/adv_nn.dir/softmax.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/structural.cpp.o"
+  "CMakeFiles/adv_nn.dir/structural.cpp.o.d"
+  "CMakeFiles/adv_nn.dir/trainer.cpp.o"
+  "CMakeFiles/adv_nn.dir/trainer.cpp.o.d"
+  "libadv_nn.a"
+  "libadv_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

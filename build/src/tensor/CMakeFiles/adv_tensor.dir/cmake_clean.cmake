@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/adv_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/adv_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/adv_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/adv_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/adv_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/adv_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/adv_tensor.dir/tensor_ops.cpp.o.d"
+  "CMakeFiles/adv_tensor.dir/thread_pool.cpp.o"
+  "CMakeFiles/adv_tensor.dir/thread_pool.cpp.o.d"
+  "libadv_tensor.a"
+  "libadv_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

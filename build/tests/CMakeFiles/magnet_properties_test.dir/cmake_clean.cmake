@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magnet_properties_test.dir/magnet_properties_test.cpp.o"
+  "CMakeFiles/magnet_properties_test.dir/magnet_properties_test.cpp.o.d"
+  "magnet_properties_test"
+  "magnet_properties_test.pdb"
+  "magnet_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magnet_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/gemm_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_loss_test[1]_include.cmake")
+include("/root/repo/build/tests/sequential_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/magnet_test[1]_include.cmake")
+include("/root/repo/build/tests/magnet_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/roc_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
