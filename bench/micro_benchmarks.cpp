@@ -4,6 +4,10 @@
 // plain-GD attack steps (the paper's eq. (4) loop body).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
 #include "attacks/ead.hpp"
 #include "magnet/autoencoder.hpp"
 #include "magnet/detector.hpp"
@@ -15,6 +19,7 @@
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "tensor/thread_pool.hpp"
 
 namespace {
 
@@ -45,7 +50,29 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
                           static_cast<std::int64_t>(n * n * n));
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+/// Conv-shaped (tall-skinny) GEMMs: the im2col products behind Conv2d
+/// forward (M=out_ch, K=in_ch*k^2, N=H*W) and its two backward products.
+void BM_GemmConvShape(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  Tensor a({m, k}), b({k, n}), c;
+  fill_normal(a, rng, 0.0f, 1.0f);
+  fill_normal(b, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(m * k * n));
+}
+BENCHMARK(BM_GemmConvShape)
+    ->Args({32, 144, 12544})   // conv fwd: 16ch 3x3 -> 32ch, 64 x 14x14 imgs
+    ->Args({32, 12544, 144})   // conv dW: grad_out x col^T
+    ->Args({144, 32, 12544});  // conv dX: W^T x grad_out
 
 void BM_ConvForward(benchmark::State& state) {
   Rng rng(2);
@@ -53,7 +80,7 @@ void BM_ConvForward(benchmark::State& state) {
   Tensor x({8, 16, 14, 14});
   fill_uniform(x, rng, 0.0f, 1.0f);
   for (auto _ : state) {
-    Tensor y = conv.forward(x, false);
+    Tensor y = conv.forward(x, nn::Mode::Eval);
     benchmark::DoNotOptimize(y.data());
   }
 }
@@ -66,7 +93,7 @@ void BM_ConvBackward(benchmark::State& state) {
   fill_uniform(x, rng, 0.0f, 1.0f);
   Tensor g({8, 32, 14, 14});
   fill_uniform(g, rng, -1.0f, 1.0f);
-  conv.forward(x, false);
+  conv.forward(x, nn::Mode::Eval);
   for (auto _ : state) {
     conv.zero_grad();
     Tensor dx = conv.backward(g);
@@ -93,7 +120,7 @@ void BM_AutoencoderForward(benchmark::State& state) {
   Tensor x({16, 1, 28, 28});
   fill_uniform(x, rng, 0.0f, 1.0f);
   for (auto _ : state) {
-    Tensor y = ae.forward(x, false);
+    Tensor y = ae.forward(x, nn::Mode::Eval);
     benchmark::DoNotOptimize(y.data());
   }
 }
@@ -151,6 +178,70 @@ void BM_ShrinkProject(benchmark::State& state) {
 }
 BENCHMARK(BM_ShrinkProject);
 
+/// Times one GEMM shape (best of `reps` runs after one warmup) and
+/// returns achieved GFLOP/s.
+double gemm_gflops(std::size_t m, std::size_t k, std::size_t n, int reps) {
+  Rng rng(1);
+  Tensor a({m, k}), b({k, n}), c;
+  fill_normal(a, rng, 0.0f, 1.0f);
+  fill_normal(b, rng, 0.0f, 1.0f);
+  gemm(a, b, c);  // warmup: touches pages, spins up the pool
+  double best_s = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    gemm(a, b, c);
+    const auto t1 = std::chrono::steady_clock::now();
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  benchmark::DoNotOptimize(c.data());
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n) / best_s / 1e9;
+}
+
+/// Machine-readable GEMM perf snapshot so later changes can track the
+/// trajectory: square and conv-shaped cases, GFLOP/s, to BENCH_gemm.json
+/// in the working directory.
+void write_gemm_json(const char* path) {
+  struct Case {
+    const char* name;
+    std::size_t m, k, n;
+  };
+  const Case cases[] = {
+      {"square_256", 256, 256, 256},    {"square_512", 512, 512, 512},
+      {"square_1024", 1024, 1024, 1024}, {"conv_fwd", 32, 144, 12544},
+      {"conv_dw", 32, 12544, 144},      {"conv_dx", 144, 32, 12544},
+  };
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "micro_benchmarks: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"unit\": \"GFLOP/s\",\n  \"threads\": %zu,\n"
+               "  \"cases\": [\n",
+               ThreadPool::global().thread_count());
+  bool first = true;
+  for (const Case& c : cases) {
+    const double gflops = gemm_gflops(c.m, c.k, c.n, 3);
+    std::fprintf(f,
+                 "%s    {\"name\": \"%s\", \"m\": %zu, \"k\": %zu, "
+                 "\"n\": %zu, \"gflops\": %.2f}",
+                 first ? "" : ",\n", c.name, c.m, c.k, c.n, gflops);
+    std::printf("BENCH_gemm %-12s %4zux%5zux%5zu  %7.2f GFLOP/s\n", c.name,
+                c.m, c.k, c.n, gflops);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_gemm_json("BENCH_gemm.json");
+  return 0;
+}

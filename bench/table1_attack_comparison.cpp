@@ -25,7 +25,12 @@ void dataset_block(core::ModelZoo& zoo, core::DatasetId id,
               core::to_string(id), static_cast<double>(cw_kappa),
               static_cast<double>(ead_kappa));
 
-  const auto cw = zoo.cw(id, cw_kappa);
+  // Attacks are selected by name through the AttackRegistry; the zoo
+  // supplies scale-matched defaults and caches each run by attack tag.
+  attacks::AttackOverrides cw_overrides = zoo.attack_defaults(id);
+  cw_overrides.kappa = cw_kappa;
+  const auto cw =
+      zoo.run_attack(id, *attacks::make_attack("cw-l2", cw_overrides));
   row("C&W (L2)", 100.0f - bench::defended_accuracy_pct(*pipe, cw, labels,
                                                         scheme),
       cw);
@@ -43,16 +48,23 @@ void dataset_block(core::ModelZoo& zoo, core::DatasetId id,
     }
   }
 
-  // Baseline rows beyond the paper's table (attacks MagNet defends).
-  const auto fg = zoo.fgsm(id, 0.1f, 1);
-  row("FGSM (eps=0.1)",
-      100.0f - bench::defended_accuracy_pct(*pipe, fg, labels, scheme), fg);
-  const auto ifg = zoo.fgsm(id, 0.1f, 10);
-  row("I-FGSM (eps=0.1, 10it)",
-      100.0f - bench::defended_accuracy_pct(*pipe, ifg, labels, scheme), ifg);
-  const auto df = zoo.deepfool(id);
-  row("DeepFool",
-      100.0f - bench::defended_accuracy_pct(*pipe, df, labels, scheme), df);
+  // Baseline rows beyond the paper's table (attacks MagNet defends),
+  // likewise registry-selected by name.
+  const struct {
+    const char* label;
+    const char* name;
+    attacks::AttackOverrides overrides;
+  } baselines[] = {
+      {"FGSM (eps=0.1)", "fgsm", {.epsilon = 0.1f}},
+      {"I-FGSM (eps=0.1, 10it)", "ifgsm", {.epsilon = 0.1f}},
+      {"DeepFool", "deepfool", {}},
+  };
+  for (const auto& b : baselines) {
+    const auto r =
+        zoo.run_attack(id, *attacks::make_attack(b.name, b.overrides));
+    row(b.label,
+        100.0f - bench::defended_accuracy_pct(*pipe, r, labels, scheme), r);
+  }
 }
 
 }  // namespace

@@ -215,11 +215,11 @@ bench_cmake/CMakeFiles/table6_cifar_accuracy.dir/table6_cifar_accuracy.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nn/layer.hpp \
- /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/nn/mode.hpp /root/repo/src/tensor/tensor.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/tensor/shape.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/magnet_factory.hpp /root/repo/src/core/model_zoo.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -233,12 +233,13 @@ bench_cmake/CMakeFiles/table6_cifar_accuracy.dir/table6_cifar_accuracy.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/attacks/cw.hpp \
- /root/repo/src/attacks/ead.hpp /root/repo/src/attacks/deepfool.hpp \
- /root/repo/src/attacks/fgsm.hpp /root/repo/src/core/config.hpp \
- /root/repo/src/data/dataset.hpp /root/repo/src/tensor/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/attacks/attack.hpp /usr/include/c++/12/optional \
+ /root/repo/src/attacks/cw.hpp /root/repo/src/attacks/ead.hpp \
+ /root/repo/src/attacks/deepfool.hpp /root/repo/src/attacks/fgsm.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/data/dataset.hpp \
+ /root/repo/src/tensor/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

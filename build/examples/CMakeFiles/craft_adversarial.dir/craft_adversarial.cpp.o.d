@@ -225,11 +225,13 @@ examples/CMakeFiles/craft_adversarial.dir/craft_adversarial.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/attacks/cw.hpp \
- /root/repo/src/attacks/ead.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/attacks/common.hpp \
- /root/repo/src/nn/sequential.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nn/layer.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/attacks/attack.hpp /usr/include/c++/12/optional \
+ /root/repo/src/attacks/cw.hpp /root/repo/src/attacks/ead.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/attacks/common.hpp /root/repo/src/nn/sequential.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/nn/layer.hpp /root/repo/src/nn/mode.hpp \
  /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/tensor/shape.hpp \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/attack.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/attack.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/attack.cpp.o.d"
   "/root/repo/src/attacks/common.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/common.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/common.cpp.o.d"
   "/root/repo/src/attacks/cw.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/cw.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/cw.cpp.o.d"
   "/root/repo/src/attacks/deepfool.cpp" "src/attacks/CMakeFiles/adv_attacks.dir/deepfool.cpp.o" "gcc" "src/attacks/CMakeFiles/adv_attacks.dir/deepfool.cpp.o.d"

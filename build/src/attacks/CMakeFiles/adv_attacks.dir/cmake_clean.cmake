@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/adv_attacks.dir/attack.cpp.o"
+  "CMakeFiles/adv_attacks.dir/attack.cpp.o.d"
   "CMakeFiles/adv_attacks.dir/common.cpp.o"
   "CMakeFiles/adv_attacks.dir/common.cpp.o.d"
   "CMakeFiles/adv_attacks.dir/cw.cpp.o"

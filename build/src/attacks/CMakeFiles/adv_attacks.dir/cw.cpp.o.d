@@ -216,7 +216,8 @@ src/attacks/CMakeFiles/adv_attacks.dir/cw.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nn/layer.hpp \
- /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/tensor/shape.hpp \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/nn/mode.hpp /root/repo/src/tensor/tensor.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h

@@ -211,13 +211,15 @@ src/core/CMakeFiles/adv_core.dir/magnet_factory.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/attacks/cw.hpp \
- /root/repo/src/attacks/ead.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/attacks/common.hpp \
- /root/repo/src/nn/sequential.hpp /usr/include/c++/12/filesystem \
- /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/attacks/attack.hpp /usr/include/c++/12/optional \
+ /root/repo/src/attacks/cw.hpp /root/repo/src/attacks/ead.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/attacks/common.hpp /root/repo/src/nn/sequential.hpp \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
@@ -230,10 +232,10 @@ src/core/CMakeFiles/adv_core.dir/magnet_factory.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/nn/layer.hpp /root/repo/src/tensor/tensor.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/nn/layer.hpp /root/repo/src/nn/mode.hpp \
+ /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/tensor/shape.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/attacks/deepfool.hpp /root/repo/src/attacks/fgsm.hpp \
  /root/repo/src/core/config.hpp /root/repo/src/data/dataset.hpp \

@@ -214,11 +214,11 @@ src/magnet/CMakeFiles/adv_magnet.dir/autoencoder.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/nn/layer.hpp \
- /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/nn/mode.hpp /root/repo/src/tensor/tensor.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/tensor/shape.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/nn/trainer.hpp /root/repo/src/nn/loss.hpp \
  /root/repo/src/nn/optimizer.hpp /root/repo/src/tensor/rng.hpp \

@@ -214,11 +214,12 @@ src/magnet/CMakeFiles/adv_magnet.dir/pipeline.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/nn/layer.hpp /root/repo/src/tensor/tensor.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/tensor/shape.hpp \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/nn/layer.hpp /root/repo/src/nn/mode.hpp \
+ /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/nn/trainer.hpp /root/repo/src/nn/loss.hpp \
  /root/repo/src/nn/optimizer.hpp

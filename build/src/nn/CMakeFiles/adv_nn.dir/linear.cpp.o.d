@@ -197,12 +197,13 @@ src/nn/CMakeFiles/adv_nn.dir/linear.cpp.o: /root/repo/src/nn/linear.cpp \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/tensor/tensor.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/tensor/shape.hpp \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/nn/mode.hpp \
+ /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/rng.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -225,14 +226,4 @@ src/nn/CMakeFiles/adv_nn.dir/linear.cpp.o: /root/repo/src/nn/linear.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nn/init.hpp \
- /root/repo/src/tensor/gemm.hpp /root/repo/src/tensor/tensor_ops.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h
+ /root/repo/src/tensor/gemm.hpp

@@ -195,7 +195,7 @@ src/nn/CMakeFiles/adv_nn.dir/pool.cpp.o: /root/repo/src/nn/pool.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/nn/mode.hpp \
  /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/array \

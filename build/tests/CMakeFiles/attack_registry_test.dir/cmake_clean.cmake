@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_registry_test.dir/attack_registry_test.cpp.o"
+  "CMakeFiles/attack_registry_test.dir/attack_registry_test.cpp.o.d"
+  "attack_registry_test"
+  "attack_registry_test.pdb"
+  "attack_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -303,16 +303,16 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/config.hpp \
  /root/repo/src/core/evaluation.hpp /root/repo/src/attacks/common.hpp \
  /root/repo/src/nn/sequential.hpp /root/repo/src/nn/layer.hpp \
- /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/span \
- /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/nn/mode.hpp /root/repo/src/tensor/tensor.hpp \
+ /usr/include/c++/12/span /root/repo/src/tensor/shape.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/magnet_factory.hpp /root/repo/src/core/model_zoo.hpp \
- /root/repo/src/attacks/cw.hpp /root/repo/src/attacks/ead.hpp \
- /root/repo/src/attacks/deepfool.hpp /root/repo/src/attacks/fgsm.hpp \
- /root/repo/src/data/dataset.hpp /root/repo/src/tensor/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/attacks/attack.hpp /root/repo/src/attacks/cw.hpp \
+ /root/repo/src/attacks/ead.hpp /root/repo/src/attacks/deepfool.hpp \
+ /root/repo/src/attacks/fgsm.hpp /root/repo/src/data/dataset.hpp \
+ /root/repo/src/tensor/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gemm_blocked_test.cpp" "tests/CMakeFiles/gemm_blocked_test.dir/gemm_blocked_test.cpp.o" "gcc" "tests/CMakeFiles/gemm_blocked_test.dir/gemm_blocked_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/adv_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/magnet/CMakeFiles/adv_magnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adv_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_blocked_test.dir/gemm_blocked_test.cpp.o"
+  "CMakeFiles/gemm_blocked_test.dir/gemm_blocked_test.cpp.o.d"
+  "gemm_blocked_test"
+  "gemm_blocked_test.pdb"
+  "gemm_blocked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_blocked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -320,9 +320,10 @@ tests/CMakeFiles/magnet_test.dir/magnet_test.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/nn/layer.hpp /root/repo/src/tensor/tensor.hpp \
- /usr/include/c++/12/span /root/repo/src/tensor/shape.hpp \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/nn/layer.hpp /root/repo/src/nn/mode.hpp \
+ /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/span \
+ /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/nn/trainer.hpp /root/repo/src/nn/loss.hpp \
  /root/repo/src/nn/optimizer.hpp /root/repo/src/tensor/rng.hpp \

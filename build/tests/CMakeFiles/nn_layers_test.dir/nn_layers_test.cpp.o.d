@@ -316,9 +316,9 @@ tests/CMakeFiles/nn_layers_test.dir/nn_layers_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/nn/activations.hpp /root/repo/src/nn/layer.hpp \
- /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/span \
- /root/repo/src/tensor/shape.hpp /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/nn/mode.hpp /root/repo/src/tensor/tensor.hpp \
+ /usr/include/c++/12/span /root/repo/src/tensor/shape.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/nn/conv2d.hpp /root/repo/src/tensor/rng.hpp \
  /root/repo/src/nn/linear.hpp /root/repo/src/nn/pool.hpp \

@@ -321,12 +321,12 @@ tests/CMakeFiles/trainer_test.dir/trainer_test.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/nn/activations.hpp /root/repo/src/nn/layer.hpp \
- /root/repo/src/nn/conv2d.hpp /root/repo/src/nn/linear.hpp \
- /root/repo/src/nn/pool.hpp /root/repo/src/nn/structural.hpp \
- /root/repo/src/nn/trainer.hpp /root/repo/src/nn/loss.hpp \
- /root/repo/src/nn/optimizer.hpp /root/repo/src/nn/sequential.hpp \
- /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
- /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/tensor/tensor_ops.hpp
+ /root/repo/src/nn/mode.hpp /root/repo/src/nn/conv2d.hpp \
+ /root/repo/src/nn/linear.hpp /root/repo/src/nn/pool.hpp \
+ /root/repo/src/nn/structural.hpp /root/repo/src/nn/trainer.hpp \
+ /root/repo/src/nn/loss.hpp /root/repo/src/nn/optimizer.hpp \
+ /root/repo/src/nn/sequential.hpp /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /root/repo/src/tensor/tensor_ops.hpp

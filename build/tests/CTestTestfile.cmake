@@ -8,6 +8,7 @@ include("/root/repo/build/tests/tensor_test[1]_include.cmake")
 include("/root/repo/build/tests/rng_test[1]_include.cmake")
 include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
 include("/root/repo/build/tests/gemm_test[1]_include.cmake")
+include("/root/repo/build/tests/gemm_blocked_test[1]_include.cmake")
 include("/root/repo/build/tests/serialize_test[1]_include.cmake")
 include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
 include("/root/repo/build/tests/nn_loss_test[1]_include.cmake")
@@ -18,6 +19,7 @@ include("/root/repo/build/tests/magnet_test[1]_include.cmake")
 include("/root/repo/build/tests/magnet_properties_test[1]_include.cmake")
 include("/root/repo/build/tests/attacks_test[1]_include.cmake")
 include("/root/repo/build/tests/attack_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_registry_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/roc_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")

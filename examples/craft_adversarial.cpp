@@ -30,9 +30,16 @@ int main(int argc, char** argv) {
   for (const auto id : {core::DatasetId::Mnist, core::DatasetId::Cifar}) {
     const float kappa = id == core::DatasetId::Mnist ? 10.0f : 20.0f;
     const auto& aset = zoo.attack_set(id);
-    const attacks::AttackResult cw = zoo.cw(id, kappa);
+    // Both attacks are picked by name from the AttackRegistry; the zoo
+    // fills in scale-matched iteration budgets and caches the runs.
+    attacks::AttackOverrides o = zoo.attack_defaults(id);
+    o.kappa = kappa;
+    const attacks::AttackResult cw =
+        zoo.run_attack(id, *attacks::make_attack("cw-l2", o));
+    o.beta = 0.1f;
+    o.rule = attacks::DecisionRule::EN;
     const attacks::AttackResult ead =
-        zoo.ead(id, 0.1f, kappa, attacks::DecisionRule::EN);
+        zoo.run_attack(id, *attacks::make_attack("ead", o));
 
     const std::size_t n = std::min<std::size_t>(5, aset.labels.size());
     for (std::size_t i = 0; i < n; ++i) {

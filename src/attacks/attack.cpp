@@ -1,0 +1,165 @@
+#include "attacks/attack.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace adv::attacks {
+namespace {
+
+// Compact float formatting for cache tags: 0.01 -> "0.01", 15 -> "15".
+std::string fmt(float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string FgsmAttack::name() const { return "fgsm"; }
+
+std::string FgsmAttack::tag() const {
+  return "fgsm_e" + fmt(cfg_.epsilon) + "_i" + std::to_string(cfg_.iterations);
+}
+
+AttackResult FgsmAttack::run(nn::Sequential& model, const Tensor& images,
+                             const std::vector<int>& labels) const {
+  return fgsm_attack(model, images, labels, cfg_);
+}
+
+std::string CwL2Attack::name() const { return "cw-l2"; }
+
+std::string CwL2Attack::tag() const {
+  return "cw_k" + fmt(cfg_.kappa) + "_i" + std::to_string(cfg_.iterations) +
+         "_s" + std::to_string(cfg_.binary_search_steps) + "_c" +
+         fmt(cfg_.initial_c) + "_lr" + fmt(cfg_.learning_rate);
+}
+
+AttackResult CwL2Attack::run(nn::Sequential& model, const Tensor& images,
+                             const std::vector<int>& labels) const {
+  return cw_l2_attack(model, images, labels, cfg_);
+}
+
+std::string DeepFoolAttack::name() const { return "deepfool"; }
+
+std::string DeepFoolAttack::tag() const {
+  return "deepfool_i" + std::to_string(cfg_.max_iterations) + "_o" +
+         fmt(cfg_.overshoot);
+}
+
+AttackResult DeepFoolAttack::run(nn::Sequential& model, const Tensor& images,
+                                 const std::vector<int>& labels) const {
+  return deepfool_attack(model, images, labels, cfg_);
+}
+
+std::string EadAttack::name() const { return "ead"; }
+
+std::string EadAttack::tag() const {
+  return std::string("ead_b") + fmt(cfg_.beta) + "_k" + fmt(cfg_.kappa) +
+         "_" + to_string(cfg_.rule) + "_i" + std::to_string(cfg_.iterations) +
+         "_s" + std::to_string(cfg_.binary_search_steps) + "_c" +
+         fmt(cfg_.initial_c) + "_lr" + fmt(cfg_.learning_rate) +
+         (cfg_.use_fista ? "_fista" : "") +
+         (cfg_.mode == HingeMode::Targeted ? "_tgt" : "");
+}
+
+AttackResult EadAttack::run(nn::Sequential& model, const Tensor& images,
+                            const std::vector<int>& labels) const {
+  return ead_attack(model, images, labels, cfg_);
+}
+
+AttackRegistry::AttackRegistry() {
+  add("fgsm", [](const AttackOverrides& o) {
+    FgsmConfig cfg;
+    if (o.epsilon) cfg.epsilon = *o.epsilon;
+    if (o.iterations) cfg.iterations = *o.iterations;
+    return std::make_unique<FgsmAttack>(cfg);
+  });
+  add("ifgsm", [](const AttackOverrides& o) {
+    FgsmConfig cfg;
+    cfg.iterations = 10;
+    if (o.epsilon) cfg.epsilon = *o.epsilon;
+    if (o.iterations) cfg.iterations = *o.iterations;
+    return std::make_unique<FgsmAttack>(cfg);
+  });
+  add("cw-l2", [](const AttackOverrides& o) {
+    CwL2Config cfg;
+    if (o.kappa) cfg.kappa = *o.kappa;
+    if (o.iterations) cfg.iterations = *o.iterations;
+    if (o.binary_search_steps) cfg.binary_search_steps = *o.binary_search_steps;
+    if (o.initial_c) cfg.initial_c = *o.initial_c;
+    if (o.learning_rate) cfg.learning_rate = *o.learning_rate;
+    return std::make_unique<CwL2Attack>(cfg);
+  });
+  add("deepfool", [](const AttackOverrides& o) {
+    DeepFoolConfig cfg;
+    if (o.iterations) cfg.max_iterations = *o.iterations;
+    if (o.overshoot) cfg.overshoot = *o.overshoot;
+    return std::make_unique<DeepFoolAttack>(cfg);
+  });
+  add("ead", [](const AttackOverrides& o) {
+    EadConfig cfg;
+    if (o.beta) cfg.beta = *o.beta;
+    if (o.kappa) cfg.kappa = *o.kappa;
+    if (o.iterations) cfg.iterations = *o.iterations;
+    if (o.binary_search_steps) cfg.binary_search_steps = *o.binary_search_steps;
+    if (o.initial_c) cfg.initial_c = *o.initial_c;
+    if (o.learning_rate) cfg.learning_rate = *o.learning_rate;
+    if (o.rule) cfg.rule = *o.rule;
+    if (o.mode) cfg.mode = *o.mode;
+    return std::make_unique<EadAttack>(cfg);
+  });
+}
+
+AttackRegistry& AttackRegistry::instance() {
+  // Built-ins are registered in the constructor (not via static
+  // self-registration, which a static-library link would strip).
+  static AttackRegistry registry;
+  return registry;
+}
+
+void AttackRegistry::add(const std::string& name, Factory factory) {
+  if (!factory) {
+    throw std::invalid_argument("AttackRegistry::add: null factory for '" +
+                                name + "'");
+  }
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("AttackRegistry::add: duplicate attack '" +
+                                name + "'");
+  }
+}
+
+std::unique_ptr<Attack> AttackRegistry::create(
+    const std::string& name, const AttackOverrides& overrides) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [key, unused] : factories_) {
+      (void)unused;
+      known += known.empty() ? key : ", " + key;
+    }
+    throw std::invalid_argument("AttackRegistry: unknown attack '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return it->second(overrides);
+}
+
+bool AttackRegistry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> AttackRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, unused] : factories_) {
+    (void)unused;
+    out.push_back(key);
+  }
+  return out;
+}
+
+std::unique_ptr<Attack> make_attack(const std::string& name,
+                                    const AttackOverrides& overrides) {
+  return AttackRegistry::instance().create(name, overrides);
+}
+
+}  // namespace adv::attacks

@@ -1,0 +1,150 @@
+// Unified attack API: a polymorphic Attack interface over the free-function
+// attack implementations, plus a string-keyed registry so experiment
+// drivers can select attacks by name ("fgsm", "ifgsm", "cw-l2", "deepfool",
+// "ead") instead of hard-wiring one entry point per algorithm.
+//
+// Adapters are thin: each wraps a legacy config struct and forwards run()
+// to the corresponding free function, so a registry-built attack produces
+// results identical to a direct call.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attacks/cw.hpp"
+#include "attacks/deepfool.hpp"
+#include "attacks/fgsm.hpp"
+
+namespace adv::attacks {
+
+/// Optional knob overrides applied on top of an attack's default config
+/// when it is built by name. Fields irrelevant to the chosen attack are
+/// ignored (e.g. beta for FGSM), mirroring how the legacy config structs
+/// ignore unknown settings.
+struct AttackOverrides {
+  std::optional<float> kappa;
+  std::optional<float> beta;
+  std::optional<float> epsilon;
+  std::optional<float> learning_rate;
+  std::optional<float> initial_c;
+  std::optional<float> overshoot;
+  std::optional<std::size_t> iterations;
+  std::optional<std::size_t> binary_search_steps;
+  std::optional<DecisionRule> rule;
+  std::optional<HingeMode> mode;
+};
+
+/// Polymorphic attack: craft adversarial examples for `images` against
+/// `model` (raw-logit classifier), under the paper's oblivious threat
+/// model. In untargeted mode `labels` are the true labels; in targeted
+/// mode they are the attack targets.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Registry name of the algorithm, e.g. "ead".
+  virtual std::string name() const = 0;
+
+  /// Stable parameter-bearing identifier, e.g. "ead_b0.01_k15_EN_i1000".
+  /// Distinct configurations must yield distinct tags — caching layers
+  /// (core::ModelZoo) key stored artifacts on it.
+  virtual std::string tag() const = 0;
+
+  virtual AttackResult run(nn::Sequential& model, const Tensor& images,
+                           const std::vector<int>& labels) const = 0;
+};
+
+class FgsmAttack final : public Attack {
+ public:
+  explicit FgsmAttack(FgsmConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override;
+  std::string tag() const override;
+  AttackResult run(nn::Sequential& model, const Tensor& images,
+                   const std::vector<int>& labels) const override;
+  FgsmConfig& config() { return cfg_; }
+  const FgsmConfig& config() const { return cfg_; }
+
+ private:
+  FgsmConfig cfg_;
+};
+
+class CwL2Attack final : public Attack {
+ public:
+  explicit CwL2Attack(CwL2Config cfg = {}) : cfg_(cfg) {}
+  std::string name() const override;
+  std::string tag() const override;
+  AttackResult run(nn::Sequential& model, const Tensor& images,
+                   const std::vector<int>& labels) const override;
+  CwL2Config& config() { return cfg_; }
+  const CwL2Config& config() const { return cfg_; }
+
+ private:
+  CwL2Config cfg_;
+};
+
+class DeepFoolAttack final : public Attack {
+ public:
+  explicit DeepFoolAttack(DeepFoolConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override;
+  std::string tag() const override;
+  AttackResult run(nn::Sequential& model, const Tensor& images,
+                   const std::vector<int>& labels) const override;
+  DeepFoolConfig& config() { return cfg_; }
+  const DeepFoolConfig& config() const { return cfg_; }
+
+ private:
+  DeepFoolConfig cfg_;
+};
+
+class EadAttack final : public Attack {
+ public:
+  explicit EadAttack(EadConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override;
+  std::string tag() const override;
+  AttackResult run(nn::Sequential& model, const Tensor& images,
+                   const std::vector<int>& labels) const override;
+  EadConfig& config() { return cfg_; }
+  const EadConfig& config() const { return cfg_; }
+
+ private:
+  EadConfig cfg_;
+};
+
+/// String-keyed attack factory registry. The four built-in algorithms
+/// (plus the "ifgsm" multi-step alias) are registered on first use;
+/// out-of-tree attacks can add themselves via add().
+class AttackRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Attack>(const AttackOverrides&)>;
+
+  /// Process-wide registry with the built-ins pre-registered.
+  static AttackRegistry& instance();
+
+  /// Registers a factory; throws std::invalid_argument on a duplicate.
+  void add(const std::string& name, Factory factory);
+
+  /// Builds the named attack. Throws std::invalid_argument for unknown
+  /// names (the message lists what is registered).
+  std::unique_ptr<Attack> create(const std::string& name,
+                                 const AttackOverrides& overrides = {}) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  AttackRegistry();
+  std::map<std::string, Factory> factories_;
+};
+
+/// Convenience wrapper over AttackRegistry::instance().create().
+std::unique_ptr<Attack> make_attack(const std::string& name,
+                                    const AttackOverrides& overrides = {});
+
+}  // namespace adv::attacks

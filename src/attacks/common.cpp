@@ -49,7 +49,7 @@ HingeEval eval_attack_hinge(nn::Sequential& model, const Tensor& batch,
     throw std::invalid_argument("eval_attack_hinge: batch/label mismatch");
   }
   HingeEval out;
-  out.logits = model.forward(batch, /*training=*/false);
+  out.logits = model.forward(batch, nn::Mode::Eval);
   const std::size_t n = out.logits.dim(0), k = out.logits.dim(1);
   out.margin.resize(n);
   out.f.resize(n);

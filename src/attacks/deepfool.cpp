@@ -22,7 +22,7 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
   std::vector<bool> done(n, false);
 
   for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
-    const Tensor logits = model.forward(x, /*training=*/false);
+    const Tensor logits = model.forward(x, nn::Mode::Eval);
     const std::size_t k = logits.dim(1);
 
     bool any_active = false;
@@ -43,7 +43,7 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
       // Re-run forward so layer caches match this backward (backward
       // consumes caches; grads of a fixed logits layer are independent of
       // the seed so one forward per backward keeps the contract simple).
-      model.forward(x, /*training=*/false);
+      model.forward(x, nn::Mode::Eval);
       Tensor seed({n, k});
       for (std::size_t i = 0; i < n; ++i) {
         if (!done[i]) seed[i * k + j] = 1.0f;
@@ -95,7 +95,7 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
   AttackResult result;
   result.adversarial = x;
   result.success.assign(n, false);
-  const Tensor logits = model.forward(x, /*training=*/false);
+  const Tensor logits = model.forward(x, nn::Mode::Eval);
   for (std::size_t i = 0; i < n; ++i) {
     result.success[i] = static_cast<int>(argmax_row(logits, i)) != labels[i];
     if (!result.success[i]) {

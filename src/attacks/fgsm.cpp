@@ -24,7 +24,7 @@ AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
   Tensor x = images;
   nn::SoftmaxCrossEntropy loss;
   for (std::size_t k = 0; k < cfg.iterations; ++k) {
-    const Tensor logits = model.forward(x, /*training=*/false);
+    const Tensor logits = model.forward(x, nn::Mode::Eval);
     loss.forward(logits, labels);
     const Tensor grad = model.backward(loss.backward());
     float* px = x.data();

@@ -261,19 +261,29 @@ attacks::AttackResult ModelZoo::cached_attack(
   return attack_memo_.emplace(key, std::move(r)).first->second;
 }
 
-attacks::AttackResult ModelZoo::cw(DatasetId id, float kappa) {
+attacks::AttackResult ModelZoo::run_attack(DatasetId id,
+                                           const attacks::Attack& attack) {
   const std::string key = std::string("atk_") + to_string(id) + "_" +
-                          cfg_.tag() + "_cw_k" + format_float_key(kappa);
+                          cfg_.tag() + "_" + attack.tag();
   return cached_attack(key, [&] {
     const AttackSet& s = attack_set(id);
-    attacks::CwL2Config c;
-    c.kappa = kappa;
-    c.iterations = cfg_.attack_iterations;
-    c.binary_search_steps = cfg_.binary_search_steps;
-    c.initial_c = cfg_.initial_c_for(id);
-    c.learning_rate = cfg_.attack_lr;
-    return attacks::cw_l2_attack(*classifier(id), s.images, s.labels, c);
+    return attack.run(*classifier(id), s.images, s.labels);
   });
+}
+
+attacks::AttackOverrides ModelZoo::attack_defaults(DatasetId id) const {
+  attacks::AttackOverrides o;
+  o.iterations = cfg_.attack_iterations;
+  o.binary_search_steps = cfg_.binary_search_steps;
+  o.initial_c = cfg_.initial_c_for(id);
+  o.learning_rate = cfg_.attack_lr;
+  return o;
+}
+
+attacks::AttackResult ModelZoo::cw(DatasetId id, float kappa) {
+  attacks::AttackOverrides o = attack_defaults(id);
+  o.kappa = kappa;
+  return run_attack(id, *attacks::make_attack("cw-l2", o));
 }
 
 attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
@@ -315,26 +325,14 @@ attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
 
 attacks::AttackResult ModelZoo::fgsm(DatasetId id, float epsilon,
                                      std::size_t iterations) {
-  const std::string key = std::string("atk_") + to_string(id) + "_" +
-                          cfg_.tag() + "_fgsm_e" + format_float_key(epsilon) +
-                          "_i" + std::to_string(iterations);
-  return cached_attack(key, [&] {
-    const AttackSet& s = attack_set(id);
-    attacks::FgsmConfig c;
-    c.epsilon = epsilon;
-    c.iterations = iterations;
-    return attacks::fgsm_attack(*classifier(id), s.images, s.labels, c);
-  });
+  attacks::AttackOverrides o;
+  o.epsilon = epsilon;
+  o.iterations = iterations;
+  return run_attack(id, *attacks::make_attack("fgsm", o));
 }
 
 attacks::AttackResult ModelZoo::deepfool(DatasetId id) {
-  const std::string key =
-      std::string("atk_") + to_string(id) + "_" + cfg_.tag() + "_deepfool";
-  return cached_attack(key, [&] {
-    const AttackSet& s = attack_set(id);
-    attacks::DeepFoolConfig c;
-    return attacks::deepfool_attack(*classifier(id), s.images, s.labels, c);
-  });
+  return run_attack(id, *attacks::make_attack("deepfool"));
 }
 
 }  // namespace adv::core

@@ -18,10 +18,8 @@
 #include <memory>
 #include <string>
 
-#include "attacks/cw.hpp"
-#include "attacks/deepfool.hpp"
+#include "attacks/attack.hpp"
 #include "attacks/ead.hpp"
-#include "attacks/fgsm.hpp"
 #include "core/config.hpp"
 #include "data/dataset.hpp"
 #include "magnet/autoencoder.hpp"
@@ -70,6 +68,21 @@ class ModelZoo {
   const AttackSet& attack_set(DatasetId id);
 
   // --- cached attacks (crafted on the UNDEFENDED classifier) -----------
+
+  /// Runs any attacks::Attack (typically built by name through the
+  /// AttackRegistry) against the fixed attack set, caching the result on
+  /// disk keyed by the attack's tag().
+  attacks::AttackResult run_attack(DatasetId id,
+                                   const attacks::Attack& attack);
+
+  /// Scale-derived override defaults (iterations, binary-search steps,
+  /// initial c, learning rate) for building registry attacks that match
+  /// this zoo's experiment budget.
+  attacks::AttackOverrides attack_defaults(DatasetId id) const;
+
+  // Named convenience wrappers over run_attack, kept for the bench
+  // binaries. ead() additionally shares one optimization run across the
+  // EN and L1 decision rules (ead_attack_multi), which run_attack cannot.
   attacks::AttackResult cw(DatasetId id, float kappa);
   attacks::AttackResult ead(DatasetId id, float beta, float kappa,
                             attacks::DecisionRule rule);

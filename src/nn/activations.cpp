@@ -17,7 +17,7 @@ void require_same_shape(const Tensor& a, const Tensor& b, const char* who) {
 
 }  // namespace
 
-Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+Tensor ReLU::forward(const Tensor& input, Mode /*mode*/) {
   input_ = input;
   Tensor out = input;
   for (float& v : out.values()) v = v > 0.0f ? v : 0.0f;
@@ -35,7 +35,7 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
+Tensor LeakyReLU::forward(const Tensor& input, Mode /*mode*/) {
   input_ = input;
   Tensor out = input;
   for (float& v : out.values()) {
@@ -55,7 +55,7 @@ Tensor LeakyReLU::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+Tensor Sigmoid::forward(const Tensor& input, Mode /*mode*/) {
   Tensor out = input;
   for (float& v : out.values()) v = 1.0f / (1.0f + std::exp(-v));
   output_ = out;
@@ -73,7 +73,7 @@ Tensor Sigmoid::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+Tensor Tanh::forward(const Tensor& input, Mode /*mode*/) {
   Tensor out = input;
   for (float& v : out.values()) v = std::tanh(v);
   output_ = out;

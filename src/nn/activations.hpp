@@ -7,7 +7,7 @@ namespace adv::nn {
 
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "ReLU"; }
 
@@ -19,7 +19,7 @@ class LeakyReLU final : public Layer {
  public:
   explicit LeakyReLU(float negative_slope = 0.01f)
       : negative_slope_(negative_slope) {}
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "LeakyReLU"; }
 
@@ -30,7 +30,7 @@ class LeakyReLU final : public Layer {
 
 class Sigmoid final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Sigmoid"; }
 
@@ -40,7 +40,7 @@ class Sigmoid final : public Layer {
 
 class Tanh final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Tanh"; }
 

@@ -95,7 +95,7 @@ Conv2d::Conv2d(const Conv2dConfig& cfg, Rng& rng)
   glorot_uniform(weight_, fan_in, fan_out, rng);
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+Tensor Conv2d::forward(const Tensor& input, Mode /*mode*/) {
   if (input.rank() != 4 || input.dim(1) != cfg_.in_channels) {
     throw std::invalid_argument("Conv2d::forward: expected [N, " +
                                 std::to_string(cfg_.in_channels) +
@@ -119,7 +119,7 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
              h, w, cfg_.kernel, cfg_.stride, cfg_.padding, col.data());
       float* dst = out.data() + s * cfg_.out_channels * plane;
       gemm_raw(weight_.data(), col.data(), dst, cfg_.out_channels, k2, plane,
-               /*accumulate=*/false, /*parallel=*/false);
+               {.accumulate = false, .parallel = false});
       for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
         const float b = bias_[oc];
         float* p = dst + oc * plane;
@@ -168,31 +168,13 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       // Recompute the column buffer (cheaper than caching it for wide AEs).
       im2col(input_.data() + s * cfg_.in_channels * h * w, cfg_.in_channels,
              h, w, cfg_.kernel, cfg_.stride, cfg_.padding, col.data());
-      // dW += gout [out_c, plane] * col^T [plane, k2]
-      for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
-        const float* grow = gout + oc * plane;
-        float* dwrow = dw.data() + oc * k2;
-        for (std::size_t r = 0; r < k2; ++r) {
-          const float* crow = col.data() + r * plane;
-          double acc = 0.0;
-          for (std::size_t i = 0; i < plane; ++i) {
-            acc += static_cast<double>(grow[i]) * crow[i];
-          }
-          dwrow[r] += static_cast<float>(acc);
-        }
-      }
-      // dcol = W^T [k2, out_c] * gout [out_c, plane]
-      std::memset(dcol.data(), 0, dcol.size() * sizeof(float));
-      for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
-        const float* wrow = weight_.data() + oc * k2;
-        const float* grow = gout + oc * plane;
-        for (std::size_t r = 0; r < k2; ++r) {
-          const float wv = wrow[r];
-          if (wv == 0.0f) continue;
-          float* drow = dcol.data() + r * plane;
-          for (std::size_t i = 0; i < plane; ++i) drow[i] += wv * grow[i];
-        }
-      }
+      // dW += gout [out_c, plane] * col^T [plane, k2] (B stored [k2, plane])
+      gemm_a_bt_raw(gout, col.data(), dw.data(), cfg_.out_channels, plane,
+                    k2, {.accumulate = true, .parallel = false});
+      // dcol = W^T [k2, out_c] * gout [out_c, plane] (A stored [out_c, k2])
+      gemm_at_b_raw(weight_.data(), gout, dcol.data(), k2,
+                    cfg_.out_channels, plane,
+                    {.accumulate = false, .parallel = false});
       col2im(dcol.data(), cfg_.in_channels, h, w, cfg_.kernel, cfg_.stride,
              cfg_.padding,
              grad_input.data() + s * cfg_.in_channels * h * w);

@@ -29,7 +29,7 @@ class Conv2d final : public Layer {
     return Conv2dConfig{in_c, out_c, kernel, 1, kernel / 2};
   }
 
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> gradients() override {

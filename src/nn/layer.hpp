@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/mode.hpp"
 #include "tensor/tensor.hpp"
 
 namespace adv::nn {
@@ -22,10 +23,10 @@ class Layer {
   virtual ~Layer() = default;
 
   /// Computes the layer output for `input` (leading dimension = batch).
-  /// `training` toggles train-only behaviour (dropout); caching for
+  /// Mode::Train toggles train-only behaviour (dropout); caching for
   /// backward happens regardless, so attacks can differentiate in eval
   /// mode.
-  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  virtual Tensor forward(const Tensor& input, Mode mode) = 0;
 
   /// Given d(loss)/d(output), accumulates parameter gradients and returns
   /// d(loss)/d(input). Must be called after forward on the same batch.

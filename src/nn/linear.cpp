@@ -4,7 +4,6 @@
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
-#include "tensor/tensor_ops.hpp"
 
 namespace adv::nn {
 
@@ -18,7 +17,7 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
   glorot_uniform(weight_, in_features, out_features, rng);
 }
 
-Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+Tensor Linear::forward(const Tensor& input, Mode /*mode*/) {
   if (input.rank() != 2 || input.dim(1) != in_) {
     throw std::invalid_argument("Linear::forward: expected [N, " +
                                 std::to_string(in_) + "], got " +
@@ -42,10 +41,8 @@ Tensor Linear::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Linear::backward: bad grad shape " +
                                 grad_output.shape_string());
   }
-  // dW += x^T * dy
-  Tensor dw;
-  gemm_at_b(input_, grad_output, dw);
-  add_inplace(grad_weight_, dw);
+  // dW += x^T * dy, accumulated straight into the gradient buffer.
+  gemm_at_b(input_, grad_output, grad_weight_, {.accumulate = true});
   // db += column sums of dy
   const std::size_t n = grad_output.dim(0);
   const float* g = grad_output.data();

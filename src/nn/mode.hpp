@@ -1,0 +1,14 @@
+// Forward-pass mode shared by every layer and model.
+#pragma once
+
+namespace adv::nn {
+
+/// Train enables train-only behaviour (dropout masks); Eval is the
+/// deterministic inference path. Attacks always run Eval — backward
+/// caches are populated in both modes, so eval-mode forward passes remain
+/// differentiable.
+enum class Mode { Train, Eval };
+
+inline constexpr bool is_training(Mode mode) { return mode == Mode::Train; }
+
+}  // namespace adv::nn

@@ -23,7 +23,7 @@ void require_poolable(const Tensor& input, std::size_t window,
 
 }  // namespace
 
-Tensor AvgPool2d::forward(const Tensor& input, bool /*training*/) {
+Tensor AvgPool2d::forward(const Tensor& input, Mode /*mode*/) {
   require_poolable(input, window_, "AvgPool2d");
   input_shape_ = input.shape();
   const std::size_t n = input.dim(0), c = input.dim(1);
@@ -74,7 +74,7 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+Tensor MaxPool2d::forward(const Tensor& input, Mode /*mode*/) {
   require_poolable(input, window_, "MaxPool2d");
   input_shape_ = input.shape();
   const std::size_t n = input.dim(0), c = input.dim(1);
@@ -122,7 +122,7 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Upsample2d::forward(const Tensor& input, bool /*training*/) {
+Tensor Upsample2d::forward(const Tensor& input, Mode /*mode*/) {
   if (input.rank() != 4) {
     throw std::invalid_argument("Upsample2d: expected NCHW, got " +
                                 input.shape_string());

@@ -11,7 +11,7 @@ namespace adv::nn {
 class AvgPool2d final : public Layer {
  public:
   explicit AvgPool2d(std::size_t window = 2) : window_(window) {}
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "AvgPool2d"; }
 
@@ -23,7 +23,7 @@ class AvgPool2d final : public Layer {
 class MaxPool2d final : public Layer {
  public:
   explicit MaxPool2d(std::size_t window = 2) : window_(window) {}
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "MaxPool2d"; }
 
@@ -37,7 +37,7 @@ class MaxPool2d final : public Layer {
 class Upsample2d final : public Layer {
  public:
   explicit Upsample2d(std::size_t factor = 2) : factor_(factor) {}
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Upsample2d"; }
 

@@ -6,9 +6,9 @@
 
 namespace adv::nn {
 
-Tensor Sequential::forward(const Tensor& input, bool training) {
+Tensor Sequential::forward(const Tensor& input, Mode mode) {
   Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x, training);
+  for (auto& layer : layers_) x = layer->forward(x, mode);
   return x;
 }
 

@@ -43,8 +43,16 @@ class Sequential {
   const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
   /// Forward pass over all layers. Caches are populated, so backward() may
-  /// follow regardless of `training` (attacks differentiate in eval mode).
-  Tensor forward(const Tensor& input, bool training = false);
+  /// follow regardless of `mode` (attacks differentiate in eval mode).
+  Tensor forward(const Tensor& input, Mode mode = Mode::Eval);
+
+  /// Transitional overload for out-of-tree callers still passing the old
+  /// boolean `training` flag; will be removed one release after the
+  /// nn::Mode introduction.
+  [[deprecated("pass nn::Mode::Train / nn::Mode::Eval instead of a bool")]]
+  Tensor forward(const Tensor& input, bool training) {
+    return forward(input, training ? Mode::Train : Mode::Eval);
+  }
 
   /// Backpropagates d(loss)/d(output) through every layer, accumulating
   /// parameter gradients, and returns d(loss)/d(input).

@@ -6,7 +6,7 @@
 
 namespace adv::nn {
 
-Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+Tensor Flatten::forward(const Tensor& input, Mode /*mode*/) {
   if (input.rank() < 2) {
     throw std::invalid_argument("Flatten: expected rank >= 2, got " +
                                 input.shape_string());
@@ -30,9 +30,9 @@ Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
   }
 }
 
-Tensor Dropout::forward(const Tensor& input, bool training) {
-  last_training_ = training;
-  if (!training || rate_ == 0.0f) return input;
+Tensor Dropout::forward(const Tensor& input, Mode mode) {
+  last_training_ = is_training(mode);
+  if (!last_training_ || rate_ == 0.0f) return input;
   const float keep = 1.0f - rate_;
   const float scale = 1.0f / keep;
   mask_ = Tensor(input.shape());

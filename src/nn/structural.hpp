@@ -8,7 +8,7 @@ namespace adv::nn {
 
 class Flatten final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Flatten"; }
 
@@ -22,7 +22,7 @@ class Flatten final : public Layer {
 class Dropout final : public Layer {
  public:
   Dropout(float rate, std::uint64_t seed);
-  Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Dropout"; }
 

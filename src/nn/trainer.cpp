@@ -55,7 +55,7 @@ TrainStats fit_classifier(Sequential& model, const Tensor& images,
       Tensor x = gather_rows(images, idx, b, e);
       std::vector<int> y(e - b);
       for (std::size_t i = b; i < e; ++i) y[i - b] = labels[idx[i]];
-      const Tensor logits = model.forward(x, /*training=*/true);
+      const Tensor logits = model.forward(x, Mode::Train);
       epoch_loss += loss.forward(logits, y);
       ++batches;
       model.zero_grad();
@@ -97,7 +97,7 @@ TrainStats fit_autoencoder(Sequential& model, const Tensor& images,
               1.0f);
         }
       }
-      const Tensor recon = model.forward(x, /*training=*/true);
+      const Tensor recon = model.forward(x, Mode::Train);
       epoch_loss += loss.forward(recon, target);
       ++batches;
       model.zero_grad();
@@ -121,7 +121,7 @@ Tensor predict(Sequential& model, const Tensor& images,
   Tensor out;
   for (std::size_t b = 0; b < n; b += batch_size) {
     const std::size_t e = std::min(n, b + batch_size);
-    const Tensor y = model.forward(images.slice_rows(b, e), false);
+    const Tensor y = model.forward(images.slice_rows(b, e), Mode::Eval);
     if (out.empty()) {
       std::vector<std::size_t> dims = y.shape().dims();
       dims[0] = n;

@@ -1,12 +1,22 @@
 #include "tensor/gemm.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/thread_pool.hpp"
 
 namespace adv {
 namespace {
+
+using gemm_blocking::KC;
+using gemm_blocking::MC;
+using gemm_blocking::MR;
+using gemm_blocking::NR;
+
+// Below this many multiply-adds the pool handoff costs more than it saves.
+constexpr std::size_t kParallelMinWork = 64 * 1024;
 
 void check_rank2(const Tensor& t, const char* name) {
   if (t.rank() != 2) {
@@ -15,41 +25,236 @@ void check_rank2(const Tensor& t, const char* name) {
   }
 }
 
-// Computes rows [r0, r1) of c = a * b with an i-k-j loop: the inner j loop
-// is a unit-stride FMA over b's row, which the compiler vectorizes.
-void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
-               std::size_t r1, std::size_t k, std::size_t n,
-               bool accumulate) {
-  for (std::size_t i = r0; i < r1; ++i) {
-    float* ci = c + i * n;
-    if (!accumulate) std::memset(ci, 0, n * sizeof(float));
-    const float* ai = a + i * k;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = ai[kk];
-      if (aik == 0.0f) continue;  // sparse gradients are common in ReLU nets
-      const float* bk = b + kk * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+// A row-major operand, optionally transposed: logical (i, j) reads
+// data[j * ld + i] when trans is set. Packing absorbs the transpose, so
+// the compute kernels below never see strided operands.
+struct OperandView {
+  const float* data;
+  std::size_t ld;
+  bool trans;
+};
+
+// Packs rows [r0, r0 + rows) x cols [pc, pc + kc) of A into MR-row panels:
+// panel t holds rows r0 + t*MR .. +MR, laid out k-major (out[p*MR + i]),
+// zero-padded to a full MR so edge tiles run the same microkernel.
+void pack_a(const OperandView& a, std::size_t r0, std::size_t rows,
+            std::size_t pc, std::size_t kc, float* out) {
+  for (std::size_t ir = 0; ir < rows; ir += MR) {
+    const std::size_t mr = std::min(MR, rows - ir);
+    float* panel = out + (ir / MR) * (MR * kc);
+    if (a.trans) {
+      // a stored [K, M]: logical column p is a contiguous storage row.
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = a.data + (pc + p) * a.ld + r0 + ir;
+        float* dst = panel + p * MR;
+        for (std::size_t i = 0; i < mr; ++i) dst[i] = src[i];
+        for (std::size_t i = mr; i < MR; ++i) dst[i] = 0.0f;
+      }
+    } else {
+      for (std::size_t i = 0; i < mr; ++i) {
+        const float* src = a.data + (r0 + ir + i) * a.ld + pc;
+        for (std::size_t p = 0; p < kc; ++p) panel[p * MR + i] = src[p];
+      }
+      for (std::size_t i = mr; i < MR; ++i) {
+        for (std::size_t p = 0; p < kc; ++p) panel[p * MR + i] = 0.0f;
+      }
     }
   }
+}
+
+// Packs the whole of B into KC-strip / NR-panel layout: strip kb covers
+// k-rows [kb*KC, kb*KC + kc); within a strip, panel jp holds columns
+// jp*NR .. +NR laid out k-major (out[p*NR + j]), zero-padded to NR.
+// Strip kb starts at kb * KC * npanels * NR (only the last strip is
+// short, so earlier offsets are exact).
+void pack_b(const OperandView& b, std::size_t k, std::size_t n, float* out) {
+  const std::size_t npanels = (n + NR - 1) / NR;
+  for (std::size_t pc = 0, kb = 0; pc < k; pc += KC, ++kb) {
+    const std::size_t kc = std::min(KC, k - pc);
+    float* strip = out + kb * KC * npanels * NR;
+    for (std::size_t jp = 0; jp < npanels; ++jp) {
+      const std::size_t j0 = jp * NR;
+      const std::size_t nr = std::min(NR, n - j0);
+      float* panel = strip + jp * (kc * NR);
+      if (b.trans) {
+        // b stored [N, K]: logical column j is a contiguous storage row.
+        for (std::size_t j = 0; j < nr; ++j) {
+          const float* src = b.data + (j0 + j) * b.ld + pc;
+          for (std::size_t p = 0; p < kc; ++p) panel[p * NR + j] = src[p];
+        }
+        for (std::size_t j = nr; j < NR; ++j) {
+          for (std::size_t p = 0; p < kc; ++p) panel[p * NR + j] = 0.0f;
+        }
+      } else {
+        for (std::size_t p = 0; p < kc; ++p) {
+          const float* src = b.data + (pc + p) * b.ld + j0;
+          float* dst = panel + p * NR;
+          for (std::size_t j = 0; j < nr; ++j) dst[j] = src[j];
+          for (std::size_t j = nr; j < NR; ++j) dst[j] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// Register-blocked microkernel: acc[MR][NR] += sum_p ap[p]*bp[p] over the
+// packed panels, then written to C. The k loop is strictly sequential with
+// one accumulator per C element, so each element's floating-point
+// reduction order depends only on the KC blocking — never on which tile,
+// chunk or thread computed it. That is the determinism argument.
+#if defined(__GNUC__) || defined(__clang__)
+// 8-lane float vector, unaligned-load capable. NR = 2 lanes-groups keeps
+// 12 vector accumulators + 2 B vectors live — a full AVX2 register file,
+// and the compiler fuses the scalar broadcast into the FMA on AVX-512.
+typedef float vf8 __attribute__((vector_size(32), aligned(4), may_alias));
+
+void micro_kernel(std::size_t kc, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr,
+                  bool add_into) {
+  static_assert(NR == 16, "microkernel assumes two 8-lane column groups");
+  vf8 acc0[MR] = {};
+  vf8 acc1[MR] = {};
+  for (std::size_t p = 0; p < kc; ++p, ap += MR, bp += NR) {
+    const vf8 b0 = *reinterpret_cast<const vf8*>(bp);
+    const vf8 b1 = *reinterpret_cast<const vf8*>(bp + 8);
+    for (std::size_t i = 0; i < MR; ++i) {
+      acc0[i] += ap[i] * b0;
+      acc1[i] += ap[i] * b1;
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (std::size_t i = 0; i < MR; ++i) {
+      vf8* c0 = reinterpret_cast<vf8*>(c + i * ldc);
+      vf8* c1 = reinterpret_cast<vf8*>(c + i * ldc + 8);
+      if (add_into) {
+        *c0 += acc0[i];
+        *c1 += acc1[i];
+      } else {
+        *c0 = acc0[i];
+        *c1 = acc1[i];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      float* ci = c + i * ldc;
+      for (std::size_t j = 0; j < nr; ++j) {
+        const float v = j < 8 ? acc0[i][j] : acc1[i][j - 8];
+        ci[j] = add_into ? ci[j] + v : v;
+      }
+    }
+  }
+}
+#else
+void micro_kernel(std::size_t kc, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr,
+                  bool add_into) {
+  float acc[MR][NR] = {};
+  for (std::size_t p = 0; p < kc; ++p, ap += MR, bp += NR) {
+    for (std::size_t i = 0; i < MR; ++i) {
+      const float ai = ap[i];
+      for (std::size_t j = 0; j < NR; ++j) acc[i][j] += ai * bp[j];
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* ci = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) {
+      ci[j] = add_into ? ci[j] + acc[i][j] : acc[i][j];
+    }
+  }
+}
+#endif
+
+// Computes rows [r0, r1) of C from packed B, packing A blocks into
+// `a_scratch` on the fly. Each KC strip accumulates into C in a fixed
+// order, so any row partition yields bit-identical results.
+void gemm_rows_blocked(const OperandView& a, const float* bpacked,
+                       float* c, std::size_t r0, std::size_t r1,
+                       std::size_t k, std::size_t n, bool accumulate,
+                       std::vector<float>& a_scratch) {
+  const std::size_t npanels = (n + NR - 1) / NR;
+  if (a_scratch.size() < MC * KC) a_scratch.resize(MC * KC);
+  for (std::size_t pc = 0, kb = 0; pc < k; pc += KC, ++kb) {
+    const std::size_t kc = std::min(KC, k - pc);
+    const bool add_into = accumulate || pc > 0;
+    const float* strip = bpacked + kb * KC * npanels * NR;
+    for (std::size_t ic = r0; ic < r1; ic += MC) {
+      const std::size_t mc = std::min(MC, r1 - ic);
+      pack_a(a, ic, mc, pc, kc, a_scratch.data());
+      for (std::size_t jp = 0; jp < npanels; ++jp) {
+        const std::size_t j0 = jp * NR;
+        const std::size_t nr = std::min(NR, n - j0);
+        const float* bp = strip + jp * (kc * NR);
+        for (std::size_t ir = 0; ir < mc; ir += MR) {
+          const std::size_t mr = std::min(MR, mc - ir);
+          micro_kernel(kc, a_scratch.data() + (ir / MR) * (MR * kc), bp,
+                       c + (ic + ir) * n + j0, n, mr, nr, add_into);
+        }
+      }
+    }
+  }
+}
+
+void gemm_core(const OperandView& a, const OperandView& b, float* c,
+               std::size_t m, std::size_t k, std::size_t n,
+               const GemmOpts& opts) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!opts.accumulate) std::memset(c, 0, m * n * sizeof(float));
+    return;
+  }
+  // Pack B once into the calling thread's persistent buffer; worker
+  // chunks read it shared. Per-chunk A scratch comes from the pool so the
+  // buffers survive across calls (no steady-state allocation).
+  static thread_local std::vector<float> b_scratch;
+  const std::size_t npanels = (n + NR - 1) / NR;
+  if (b_scratch.size() < k * npanels * NR) b_scratch.resize(k * npanels * NR);
+  pack_b(b, k, n, b_scratch.data());
+
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+  if (opts.parallel && m * k * n >= kParallelMinWork &&
+      pool.thread_count() > 1) {
+    const float* bp = b_scratch.data();
+    pool.parallel_for_indexed(
+        0, m, [&, bp](std::size_t chunk, std::size_t r0, std::size_t r1) {
+          gemm_rows_blocked(a, bp, c, r0, r1, k, n, opts.accumulate,
+                            pool.chunk_scratch(chunk));
+        });
+  } else {
+    static thread_local std::vector<float> a_scratch;
+    gemm_rows_blocked(a, b_scratch.data(), c, 0, m, k, n, opts.accumulate,
+                      a_scratch);
+  }
+}
+
+// Shapes the output tensor, or validates it when accumulating into it.
+void prepare_c(Tensor& c, std::size_t m, std::size_t n, bool accumulate) {
+  if (c.rank() == 2 && c.dim(0) == m && c.dim(1) == n) return;
+  if (accumulate) {
+    throw std::invalid_argument(
+        "gemm: accumulate requires c pre-shaped [" + std::to_string(m) +
+        ", " + std::to_string(n) + "], got " + c.shape_string());
+  }
+  c = Tensor({m, n});
 }
 
 }  // namespace
 
 void gemm_raw(const float* a, const float* b, float* c, std::size_t m,
-              std::size_t k, std::size_t n, bool accumulate, bool parallel) {
-  if (m == 0 || n == 0) return;
-  // Only parallelize when the work amortizes the pool handoff.
-  if (parallel && m * k * n >= 64 * 1024) {
-    ThreadPool::global().parallel_for(0, m, [&](std::size_t b0,
-                                                std::size_t b1) {
-      gemm_rows(a, b, c, b0, b1, k, n, accumulate);
-    });
-  } else {
-    gemm_rows(a, b, c, 0, m, k, n, accumulate);
-  }
+              std::size_t k, std::size_t n, const GemmOpts& opts) {
+  gemm_core({a, k, false}, {b, n, false}, c, m, k, n, opts);
 }
 
-void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+void gemm_at_b_raw(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n, const GemmOpts& opts) {
+  gemm_core({a, m, true}, {b, n, false}, c, m, k, n, opts);
+}
+
+void gemm_a_bt_raw(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n, const GemmOpts& opts) {
+  gemm_core({a, k, false}, {b, k, true}, c, m, k, n, opts);
+}
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, const GemmOpts& opts) {
   check_rank2(a, "A");
   check_rank2(b, "B");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -57,11 +262,12 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
     throw std::invalid_argument("gemm: inner dims differ: " +
                                 a.shape_string() + " * " + b.shape_string());
   }
-  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) c = Tensor({m, n});
-  gemm_raw(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/false);
+  prepare_c(c, m, n, opts.accumulate);
+  gemm_raw(a.data(), b.data(), c.data(), m, k, n, opts);
 }
 
-void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c) {
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c,
+               const GemmOpts& opts) {
   check_rank2(a, "A");
   check_rank2(b, "B");
   // a is stored [K, M]; logical op is A^T(M,K) * B(K,N).
@@ -71,32 +277,12 @@ void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c) {
                                 a.shape_string() + "^T * " +
                                 b.shape_string());
   }
-  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) c = Tensor({m, n});
-  c.fill(0.0f);
-  // Parallelize over output rows (columns of stored a): chunk [m0, m1).
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  auto body = [&](std::size_t m0, std::size_t m1) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* brow = pb + kk * n;
-      const float* arow = pa + kk * m;
-      for (std::size_t i = m0; i < m1; ++i) {
-        const float aki = arow[i];
-        if (aki == 0.0f) continue;
-        float* crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-      }
-    }
-  };
-  if (m * k * n >= 64 * 1024) {
-    ThreadPool::global().parallel_for(0, m, body);
-  } else {
-    body(0, m);
-  }
+  prepare_c(c, m, n, opts.accumulate);
+  gemm_at_b_raw(a.data(), b.data(), c.data(), m, k, n, opts);
 }
 
-void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c) {
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c,
+               const GemmOpts& opts) {
   check_rank2(a, "A");
   check_rank2(b, "B");
   // b is stored [N, K]; logical op is A(M,K) * B^T(K,N).
@@ -106,27 +292,8 @@ void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c) {
                                 a.shape_string() + " * " + b.shape_string() +
                                 "^T");
   }
-  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) c = Tensor({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  auto body = [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        double acc = 0.0;
-        for (std::size_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
-        crow[j] = static_cast<float>(acc);
-      }
-    }
-  };
-  if (m * k * n >= 64 * 1024) {
-    ThreadPool::global().parallel_for(0, m, body);
-  } else {
-    body(0, m);
-  }
+  prepare_c(c, m, n, opts.accumulate);
+  gemm_a_bt_raw(a.data(), b.data(), c.data(), m, k, n, opts);
 }
 
 }  // namespace adv

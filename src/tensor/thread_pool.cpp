@@ -9,6 +9,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads ? threads : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
   tasks_.resize(n - 1);
+  scratch_.resize(n);
   workers_.reserve(n - 1);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });

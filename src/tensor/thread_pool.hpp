@@ -46,6 +46,15 @@ class ThreadPool {
   /// Upper bound on the chunk index parallel_for_indexed will pass.
   std::size_t max_chunks() const { return thread_count(); }
 
+  /// Persistent per-chunk scratch buffer. A chunk index is owned by exactly
+  /// one task at a time, so the body of a parallel_for_indexed may use
+  /// chunk_scratch(chunk) freely; the buffer keeps its capacity across
+  /// parallel_for calls, so steady-state hot loops (e.g. GEMM panel
+  /// packing) allocate only once per pool lifetime.
+  std::vector<float>& chunk_scratch(std::size_t chunk) {
+    return scratch_.at(chunk);
+  }
+
   /// Process-wide pool, created on first use. Thread count can be pinned
   /// with the ADV_THREADS environment variable.
   static ThreadPool& global();
@@ -66,6 +75,7 @@ class ThreadPool {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   std::vector<Task> tasks_;        // one slot per worker
+  std::vector<std::vector<float>> scratch_;  // one buffer per chunk slot
   std::uint64_t generation_ = 0;   // bumped per parallel_for call
   std::size_t pending_ = 0;
   bool shutdown_ = false;

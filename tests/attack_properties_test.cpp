@@ -38,7 +38,7 @@ std::pair<Tensor, std::vector<int>> labeled_batch(nn::Sequential& m,
   Rng rng(seed);
   Tensor x({n, 1, 3, 3});
   fill_uniform(x, rng, 0.1f, 0.9f);
-  const Tensor logits = m.forward(x, false);
+  const Tensor logits = m.forward(x, nn::Mode::Eval);
   std::vector<int> labels(n);
   for (std::size_t i = 0; i < n; ++i) {
     labels[i] = static_cast<int>(argmax_row(logits, i));

@@ -341,7 +341,7 @@ TEST(TargetedEad, ReachesRequestedTargetClass) {
   cfg.mode = HingeMode::Targeted;
   const AttackResult r = ead_attack(m, x, {1}, cfg);  // labels = targets
   ASSERT_TRUE(r.success[0]);
-  const Tensor logits = m.forward(r.adversarial, false);
+  const Tensor logits = m.forward(r.adversarial, nn::Mode::Eval);
   EXPECT_EQ(argmax_row(logits, 0), 1u);
   // Confidence gap satisfied.
   EXPECT_GE(logits[1] - logits[0], cfg.kappa - 1e-3f);

@@ -112,11 +112,11 @@ TEST(Gemm, RawAccumulateAddsIntoC) {
   Tensor a = Tensor::from_data(Shape({1, 2}), {1, 2});
   Tensor b = Tensor::from_data(Shape({2, 1}), {3, 4});
   Tensor c({1, 1}, 10.0f);
-  gemm_raw(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/true,
-           /*parallel=*/false);
+  gemm_raw(a.data(), b.data(), c.data(), 1, 2, 1,
+           {.accumulate = true, .parallel = false});
   EXPECT_FLOAT_EQ(c[0], 21.0f);
-  gemm_raw(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/false,
-           /*parallel=*/false);
+  gemm_raw(a.data(), b.data(), c.data(), 1, 2, 1,
+           {.accumulate = false, .parallel = false});
   EXPECT_FLOAT_EQ(c[0], 11.0f);
 }
 

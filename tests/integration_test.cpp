@@ -125,14 +125,14 @@ TEST_F(IntegrationTest, ClassifierCacheAvoidsRetraining) {
     auto clf = zoo.classifier(DatasetId::Mnist);
     logits1 = clf->forward(zoo.dataset(DatasetId::Mnist).test.images
                                .slice_rows(0, 4),
-                           false);
+                           nn::Mode::Eval);
   }
   {
     ModelZoo zoo(cfg);  // loads weights from cache
     auto clf = zoo.classifier(DatasetId::Mnist);
     logits2 = clf->forward(zoo.dataset(DatasetId::Mnist).test.images
                                .slice_rows(0, 4),
-                           false);
+                           nn::Mode::Eval);
   }
   for (std::size_t i = 0; i < logits1.numel(); ++i) {
     EXPECT_FLOAT_EQ(logits1[i], logits2[i]);

@@ -269,14 +269,14 @@ TEST(Autoencoder, ArchitecturesPreserveImageShape) {
     cfg.filters = 3;
     nn::Sequential ae = build_autoencoder(cfg, rng);
     Tensor x({2, 1, 28, 28}, 0.5f);
-    EXPECT_EQ(ae.forward(x, false).shape(), x.shape());
+    EXPECT_EQ(ae.forward(x, nn::Mode::Eval).shape(), x.shape());
   }
   AutoencoderConfig cfg;
   cfg.arch = AeArch::Cifar;
   cfg.image_channels = 3;
   nn::Sequential ae = build_autoencoder(cfg, rng);
   Tensor x({2, 3, 32, 32}, 0.5f);
-  EXPECT_EQ(ae.forward(x, false).shape(), x.shape());
+  EXPECT_EQ(ae.forward(x, nn::Mode::Eval).shape(), x.shape());
 }
 
 TEST(Autoencoder, OutputsAreInUnitInterval) {
@@ -285,7 +285,7 @@ TEST(Autoencoder, OutputsAreInUnitInterval) {
   nn::Sequential ae = build_autoencoder(cfg, rng);
   Tensor x({1, 1, 28, 28});
   fill_uniform(x, rng, 0.0f, 1.0f);
-  const Tensor y = ae.forward(x, false);
+  const Tensor y = ae.forward(x, nn::Mode::Eval);
   EXPECT_GE(min_value(y), 0.0f);
   EXPECT_LE(max_value(y), 1.0f);
 }

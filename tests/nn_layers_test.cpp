@@ -26,18 +26,18 @@ namespace {
 void check_gradients(Layer& layer, const Tensor& input, std::uint64_t seed,
                      float eps = 1e-3f, float tol = 2e-2f) {
   Tensor x = input;
-  Tensor out = layer.forward(x, /*training=*/false);
+  Tensor out = layer.forward(x, Mode::Eval);
   Tensor w(out.shape());
   Rng rng(seed);
   fill_uniform(w, rng, -1.0f, 1.0f);
 
   layer.zero_grad();
-  layer.forward(x, false);
+  layer.forward(x, nn::Mode::Eval);
   const Tensor dx = layer.backward(w);
   ASSERT_EQ(dx.shape(), x.shape());
 
   auto objective = [&](const Tensor& probe) {
-    const Tensor y = layer.forward(probe, false);
+    const Tensor y = layer.forward(probe, nn::Mode::Eval);
     double acc = 0.0;
     for (std::size_t i = 0; i < y.numel(); ++i) {
       acc += static_cast<double>(w[i]) * y[i];
@@ -57,7 +57,7 @@ void check_gradients(Layer& layer, const Tensor& input, std::uint64_t seed,
 
   // Parameter gradients.
   layer.zero_grad();
-  layer.forward(x, false);
+  layer.forward(x, nn::Mode::Eval);
   layer.backward(w);
   const auto params = layer.parameters();
   const auto grads = layer.gradients();
@@ -93,7 +93,7 @@ Tensor random_input(Shape shape, std::uint64_t seed, float lo = -1.0f,
 TEST(ReLUTest, ForwardClampsNegatives) {
   ReLU relu;
   Tensor x = Tensor::from_data(Shape({4}), {-1.0f, 0.0f, 0.5f, 2.0f});
-  Tensor y = relu.forward(x, false);
+  Tensor y = relu.forward(x, nn::Mode::Eval);
   EXPECT_FLOAT_EQ(y[0], 0.0f);
   EXPECT_FLOAT_EQ(y[1], 0.0f);
   EXPECT_FLOAT_EQ(y[2], 0.5f);
@@ -113,7 +113,7 @@ TEST(ReLUTest, GradientCheck) {
 TEST(LeakyReLUTest, NegativeSlopeApplied) {
   LeakyReLU lrelu(0.1f);
   Tensor x = Tensor::from_data(Shape({2}), {-2.0f, 3.0f});
-  Tensor y = lrelu.forward(x, false);
+  Tensor y = lrelu.forward(x, nn::Mode::Eval);
   EXPECT_FLOAT_EQ(y[0], -0.2f);
   EXPECT_FLOAT_EQ(y[1], 3.0f);
 }
@@ -130,7 +130,7 @@ TEST(LeakyReLUTest, GradientCheck) {
 TEST(SigmoidTest, MapsToUnitInterval) {
   Sigmoid sig;
   Tensor x = Tensor::from_data(Shape({3}), {-10.0f, 0.0f, 10.0f});
-  Tensor y = sig.forward(x, false);
+  Tensor y = sig.forward(x, nn::Mode::Eval);
   EXPECT_NEAR(y[0], 0.0f, 1e-4f);
   EXPECT_FLOAT_EQ(y[1], 0.5f);
   EXPECT_NEAR(y[2], 1.0f, 1e-4f);
@@ -148,7 +148,7 @@ TEST(TanhTest, GradientCheck) {
 
 TEST(ActivationTest, BackwardShapeMismatchThrows) {
   ReLU relu;
-  relu.forward(Tensor({2, 3}), false);
+  relu.forward(Tensor({2, 3}), nn::Mode::Eval);
   EXPECT_THROW(relu.backward(Tensor({3, 2})), std::invalid_argument);
 }
 
@@ -163,7 +163,7 @@ TEST(LinearTest, ForwardComputesAffineMap) {
   w = Tensor::from_data(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
   b = Tensor::from_data(Shape({3}), {10, 20, 30});
   Tensor x = Tensor::from_data(Shape({1, 2}), {1, 1});
-  Tensor y = lin.forward(x, false);
+  Tensor y = lin.forward(x, nn::Mode::Eval);
   EXPECT_FLOAT_EQ(y[0], 15.0f);
   EXPECT_FLOAT_EQ(y[1], 27.0f);
   EXPECT_FLOAT_EQ(y[2], 39.0f);
@@ -172,7 +172,7 @@ TEST(LinearTest, ForwardComputesAffineMap) {
 TEST(LinearTest, RejectsWrongInputWidth) {
   Rng rng(62);
   Linear lin(4, 2, rng);
-  EXPECT_THROW(lin.forward(Tensor({1, 3}), false), std::invalid_argument);
+  EXPECT_THROW(lin.forward(Tensor({1, 3}), nn::Mode::Eval), std::invalid_argument);
 }
 
 TEST(LinearTest, GradientCheck) {
@@ -187,10 +187,10 @@ TEST(LinearTest, GradientsAccumulateAcrossBackwardCalls) {
   Tensor x({1, 2}, 1.0f);
   Tensor g({1, 2}, 1.0f);
   lin.zero_grad();
-  lin.forward(x, false);
+  lin.forward(x, nn::Mode::Eval);
   lin.backward(g);
   const Tensor once = *lin.gradients()[0];
-  lin.forward(x, false);
+  lin.forward(x, nn::Mode::Eval);
   lin.backward(g);
   const Tensor twice = *lin.gradients()[0];
   for (std::size_t i = 0; i < once.numel(); ++i) {
@@ -204,21 +204,21 @@ TEST(Conv2dTest, SamePaddingPreservesSpatialDims) {
   Rng rng(71);
   Conv2d conv(Conv2d::same(2, 4), rng);
   Tensor x = random_input({3, 2, 8, 8}, 72);
-  Tensor y = conv.forward(x, false);
+  Tensor y = conv.forward(x, nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({3, 4, 8, 8}));
 }
 
 TEST(Conv2dTest, ValidPaddingShrinksDims) {
   Rng rng(73);
   Conv2d conv(Conv2dConfig{1, 2, 3, 1, 0}, rng);
-  Tensor y = conv.forward(random_input({1, 1, 6, 5}, 74), false);
+  Tensor y = conv.forward(random_input({1, 1, 6, 5}, 74), nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({1, 2, 4, 3}));
 }
 
 TEST(Conv2dTest, StrideTwoHalvesDims) {
   Rng rng(75);
   Conv2d conv(Conv2dConfig{1, 2, 3, 2, 1}, rng);
-  Tensor y = conv.forward(random_input({1, 1, 8, 8}, 76), false);
+  Tensor y = conv.forward(random_input({1, 1, 8, 8}, 76), nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({1, 2, 4, 4}));
 }
 
@@ -230,7 +230,7 @@ TEST(Conv2dTest, IdentityKernelReproducesInput) {
   w[4] = 1.0f;  // center tap of the 3x3 kernel
   conv.parameters()[1]->fill(0.0f);
   Tensor x = random_input({1, 1, 5, 5}, 78);
-  Tensor y = conv.forward(x, false);
+  Tensor y = conv.forward(x, nn::Mode::Eval);
   for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_NEAR(y[i], x[i], 1e-5f);
 }
 
@@ -240,7 +240,7 @@ TEST(Conv2dTest, KnownConvolutionValue) {
   *conv.parameters()[0] = Tensor::from_data(Shape({1, 4}), {1, 1, 1, 1});
   conv.parameters()[1]->fill(0.5f);
   Tensor x = Tensor::from_data(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
-  Tensor y = conv.forward(x, false);
+  Tensor y = conv.forward(x, nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
   EXPECT_FLOAT_EQ(y[0], 10.5f);
 }
@@ -269,7 +269,7 @@ INSTANTIATE_TEST_SUITE_P(Configs, Conv2dGradient,
 TEST(Conv2dTest, RejectsWrongChannelCount) {
   Rng rng(84);
   Conv2d conv(Conv2d::same(3, 4), rng);
-  EXPECT_THROW(conv.forward(Tensor({1, 2, 8, 8}), false),
+  EXPECT_THROW(conv.forward(Tensor({1, 2, 8, 8}), nn::Mode::Eval),
                std::invalid_argument);
 }
 
@@ -303,7 +303,7 @@ TEST(Conv2dTest, Im2ColColToImAreAdjoint) {
 TEST(AvgPool2dTest, AveragesWindows) {
   AvgPool2d pool(2);
   Tensor x = Tensor::from_data(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
-  Tensor y = pool.forward(x, false);
+  Tensor y = pool.forward(x, nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
   EXPECT_FLOAT_EQ(y[0], 2.5f);
 }
@@ -315,14 +315,14 @@ TEST(AvgPool2dTest, GradientCheck) {
 
 TEST(AvgPool2dTest, RejectsIndivisibleDims) {
   AvgPool2d pool(2);
-  EXPECT_THROW(pool.forward(Tensor({1, 1, 5, 4}), false),
+  EXPECT_THROW(pool.forward(Tensor({1, 1, 5, 4}), nn::Mode::Eval),
                std::invalid_argument);
 }
 
 TEST(MaxPool2dTest, TakesWindowMaximum) {
   MaxPool2d pool(2);
   Tensor x = Tensor::from_data(Shape({1, 1, 2, 4}), {1, 5, 2, 0, 3, 4, 1, 9});
-  Tensor y = pool.forward(x, false);
+  Tensor y = pool.forward(x, nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
   EXPECT_FLOAT_EQ(y[0], 5.0f);
   EXPECT_FLOAT_EQ(y[1], 9.0f);
@@ -331,7 +331,7 @@ TEST(MaxPool2dTest, TakesWindowMaximum) {
 TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
   MaxPool2d pool(2);
   Tensor x = Tensor::from_data(Shape({1, 1, 2, 2}), {1, 5, 2, 0});
-  pool.forward(x, false);
+  pool.forward(x, nn::Mode::Eval);
   Tensor g({1, 1, 1, 1}, 3.0f);
   Tensor dx = pool.backward(g);
   EXPECT_FLOAT_EQ(dx[0], 0.0f);
@@ -353,7 +353,7 @@ TEST(MaxPool2dTest, GradientCheck) {
 TEST(Upsample2dTest, RepeatsPixels) {
   Upsample2d up(2);
   Tensor x = Tensor::from_data(Shape({1, 1, 1, 2}), {1, 2});
-  Tensor y = up.forward(x, false);
+  Tensor y = up.forward(x, nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({1, 1, 2, 4}));
   EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
   EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 1.0f);
@@ -369,7 +369,7 @@ TEST(PoolUpsampleTest, UpsampleUndoesAvgPoolOnConstantImages) {
   AvgPool2d pool(2);
   Upsample2d up(2);
   Tensor x({1, 1, 4, 4}, 3.7f);
-  Tensor y = up.forward(pool.forward(x, false), false);
+  Tensor y = up.forward(pool.forward(x, nn::Mode::Eval), nn::Mode::Eval);
   ASSERT_EQ(y.shape(), x.shape());
   for (float v : y.values()) EXPECT_FLOAT_EQ(v, 3.7f);
 }
@@ -379,7 +379,7 @@ TEST(PoolUpsampleTest, UpsampleUndoesAvgPoolOnConstantImages) {
 TEST(FlattenTest, CollapsesTrailingDims) {
   Flatten f;
   Tensor x({2, 3, 4, 5});
-  Tensor y = f.forward(x, false);
+  Tensor y = f.forward(x, nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({2, 60}));
   Tensor dx = f.backward(Tensor({2, 60}, 1.0f));
   EXPECT_EQ(dx.shape(), x.shape());
@@ -388,7 +388,7 @@ TEST(FlattenTest, CollapsesTrailingDims) {
 TEST(DropoutTest, EvalModeIsIdentity) {
   Dropout d(0.5f, 7);
   Tensor x = random_input({4, 8}, 97);
-  Tensor y = d.forward(x, /*training=*/false);
+  Tensor y = d.forward(x, Mode::Eval);
   for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
   Tensor g = random_input({4, 8}, 98);
   Tensor dx = d.backward(g);
@@ -398,7 +398,7 @@ TEST(DropoutTest, EvalModeIsIdentity) {
 TEST(DropoutTest, TrainModeZerosAndRescales) {
   Dropout d(0.5f, 7);
   Tensor x({1, 1000}, 1.0f);
-  Tensor y = d.forward(x, /*training=*/true);
+  Tensor y = d.forward(x, Mode::Train);
   std::size_t zeros = 0;
   for (float v : y.values()) {
     if (v == 0.0f) {

@@ -30,8 +30,29 @@ TEST(Sequential, ForwardShapesCompose) {
   Rng rng(1);
   Sequential m = tiny_cnn(rng);
   Tensor x({5, 1, 6, 6});
-  Tensor y = m.forward(x, false);
+  Tensor y = m.forward(x, nn::Mode::Eval);
   EXPECT_EQ(y.shape(), Shape({5, 4}));
+}
+
+TEST(Sequential, DeprecatedBoolOverloadStillMatchesModeApi) {
+  // The bool overload is kept (deprecated) for one transition cycle;
+  // it must route to the exact same computation as the Mode enum.
+  Rng rng(7);
+  Sequential m = tiny_cnn(rng);
+  Tensor x({2, 1, 6, 6});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  const Tensor want_eval = m.forward(x, Mode::Eval);
+  const Tensor want_train = m.forward(x, Mode::Train);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const Tensor got_eval = m.forward(x, false);
+  const Tensor got_train = m.forward(x, true);
+#pragma GCC diagnostic pop
+  ASSERT_EQ(got_eval.shape(), want_eval.shape());
+  for (std::size_t i = 0; i < got_eval.numel(); ++i) {
+    EXPECT_FLOAT_EQ(got_eval[i], want_eval[i]);
+  }
+  ASSERT_EQ(got_train.shape(), want_train.shape());
 }
 
 TEST(Sequential, ParameterAndGradientAlignment) {
@@ -57,12 +78,12 @@ TEST(Sequential, InputGradientMatchesNumericDifference) {
   Tensor w({1, 4});
   fill_uniform(w, rng, -1.0f, 1.0f);
 
-  m.forward(x, false);
+  m.forward(x, nn::Mode::Eval);
   const Tensor dx = m.backward(w);
   ASSERT_EQ(dx.shape(), x.shape());
 
   auto objective = [&](const Tensor& probe) {
-    const Tensor y = m.forward(probe, false);
+    const Tensor y = m.forward(probe, nn::Mode::Eval);
     double acc = 0.0;
     for (std::size_t i = 0; i < y.numel(); ++i) {
       acc += static_cast<double>(w[i]) * y[i];
@@ -83,7 +104,7 @@ TEST(Sequential, ZeroGradResetsAllLayers) {
   Rng rng(4);
   Sequential m = tiny_cnn(rng);
   Tensor x({2, 1, 6, 6}, 0.5f);
-  m.forward(x, false);
+  m.forward(x, nn::Mode::Eval);
   m.backward(Tensor({2, 4}, 1.0f));
   m.zero_grad();
   for (Tensor* g : m.gradients()) {
@@ -111,7 +132,7 @@ TEST(Sequential, AppendComposesModels) {
   EXPECT_EQ(head.size(), 0u);
 
   Tensor x = Tensor::from_data(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
-  const Tensor y = front.forward(x, false);
+  const Tensor y = front.forward(x, nn::Mode::Eval);
   // Doubled pixels {2,4,6,8}; W rows (per input pixel): {1,0},{1,0},
   // {0,1},{0,1} -> logits = (2+4, 6+8).
   EXPECT_FLOAT_EQ(y[0], 6.0f);
@@ -149,8 +170,8 @@ TEST_F(SequentialIo, SaveLoadRoundTripsPredictions) {
   Tensor x({3, 1, 6, 6});
   Rng xr(6);
   fill_uniform(x, xr, 0.0f, 1.0f);
-  const Tensor y1 = m1.forward(x, false);
-  const Tensor y2 = m2.forward(x, false);
+  const Tensor y1 = m1.forward(x, nn::Mode::Eval);
+  const Tensor y2 = m2.forward(x, nn::Mode::Eval);
   for (std::size_t i = 0; i < y1.numel(); ++i) {
     EXPECT_FLOAT_EQ(y1[i], y2[i]);
   }

@@ -76,7 +76,7 @@ TEST(FitClassifier, DeterministicGivenSeed) {
     tc.epochs = 5;
     tc.shuffle_seed = 77;
     fit_classifier(m, x, y, opt, tc);
-    return m.forward(x.slice_rows(0, 4), false);
+    return m.forward(x.slice_rows(0, 4), nn::Mode::Eval);
   };
   const Tensor a = train_once();
   const Tensor b = train_once();
@@ -111,7 +111,7 @@ TEST(Predict, BatchesMatchSinglePass) {
   make_blobs(x, y, 50, 17);
   Rng rng(18);
   Sequential m = mlp(rng);
-  const Tensor whole = m.forward(x, false);
+  const Tensor whole = m.forward(x, nn::Mode::Eval);
   const Tensor batched = predict(m, x, /*batch_size=*/7);
   ASSERT_EQ(whole.shape(), batched.shape());
   for (std::size_t i = 0; i < whole.numel(); ++i) {
@@ -125,7 +125,7 @@ TEST(PredictLabels, MatchesArgmax) {
   make_blobs(x, y, 20, 19);
   Rng rng(20);
   Sequential m = mlp(rng);
-  const Tensor logits = m.forward(x, false);
+  const Tensor logits = m.forward(x, nn::Mode::Eval);
   const std::vector<int> labels = predict_labels(m, x, 6);
   for (std::size_t i = 0; i < labels.size(); ++i) {
     EXPECT_EQ(labels[i], static_cast<int>(argmax_row(logits, i)));
