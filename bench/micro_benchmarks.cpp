@@ -16,6 +16,8 @@
 #include "nn/linear.hpp"
 #include "nn/pool.hpp"
 #include "nn/structural.hpp"
+#include "obs/emit.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -235,13 +237,40 @@ void write_gemm_json(const char* path) {
   std::printf("wrote %s\n", path);
 }
 
+/// Drives a few instrumented forward/backward passes of the small
+/// classifier so BENCH_layers.json carries per-layer timings even when the
+/// benchmark filter skips the model-level cases. No-op when adv::obs is
+/// compiled out or pinned off via ADV_OBS=0.
+void emit_layer_metrics(const char* path) {
+  if (!obs::kCompiledIn || !obs::enabled()) return;
+  Rng rng(8);
+  nn::Sequential m = small_classifier(rng);
+  Tensor x({8, 1, 28, 28});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  Tensor g({8, 10});
+  fill_uniform(g, rng, -1.0f, 1.0f);
+  for (int i = 0; i < 3; ++i) {
+    m.forward(x, nn::Mode::Eval);
+    m.backward(g);
+  }
+  if (obs::write_json(path, "layer/")) {
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "micro_benchmarks: cannot write %s\n", path);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Benchmarks measure the instrumented production paths; ADV_OBS=0 in the
+  // environment pins observation off for overhead A/B runs.
+  if (!adv::obs::enabled_pinned_by_env()) adv::obs::set_enabled(true);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_gemm_json("BENCH_gemm.json");
+  emit_layer_metrics("BENCH_layers.json");
   return 0;
 }

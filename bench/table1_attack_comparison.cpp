@@ -3,6 +3,8 @@
 // L1/L2 distortion over successful examples. Extra baseline rows (FGSM,
 // I-FGSM, DeepFool) cover the attacks §I says MagNet defends.
 #include "bench_common.hpp"
+#include "obs/emit.hpp"
+#include "obs/metrics.hpp"
 
 using namespace adv;
 
@@ -70,6 +72,9 @@ void dataset_block(core::ModelZoo& zoo, core::DatasetId id,
 }  // namespace
 
 int main() {
+  // Per-attack metrics (iterations, gradient queries, time-to-success) are
+  // part of this driver's output; ADV_OBS=0 in the environment pins them off.
+  if (!obs::enabled_pinned_by_env()) obs::set_enabled(true);
   core::ModelZoo zoo(core::scale_from_env());
   std::printf("== Table I: attacks vs default MagNet ==\n");
   std::printf("scale: %s\n", bench::scale_banner(zoo.scale()));
@@ -77,5 +82,9 @@ int main() {
               "EAD ~80%%)\n");
   dataset_block(zoo, core::DatasetId::Mnist, 15.0f, 15.0f);
   dataset_block(zoo, core::DatasetId::Cifar, 20.0f, 15.0f);
+  if (obs::kCompiledIn && obs::enabled() &&
+      obs::write_json("BENCH_attacks.json", "attack/")) {
+    std::printf("wrote BENCH_attacks.json\n");
+  }
   return 0;
 }

@@ -15,14 +15,64 @@ std::string fmt(float v) {
 
 }  // namespace
 
-std::string FgsmAttack::name() const { return "fgsm"; }
-
-std::string FgsmAttack::tag() const {
-  return "fgsm_e" + fmt(cfg_.epsilon) + "_i" + std::to_string(cfg_.iterations);
+AttackMetricsScope::AttackMetricsScope(std::string name,
+                                       std::size_t configured_iterations,
+                                       std::size_t image_count)
+    : active_(obs::enabled()), name_(std::move(name)) {
+  if (!active_) return;
+  auto& reg = obs::MetricsRegistry::global();
+  start_ = std::chrono::steady_clock::now();
+  forward0_ = reg.counter("model/forward_calls").value();
+  backward0_ = reg.counter("model/backward_calls").value();
+  reg.counter("attack/" + name_ + "/runs").add(1);
+  reg.counter("attack/" + name_ + "/images").add(image_count);
+  reg.counter("attack/" + name_ + "/iterations").add(configured_iterations);
 }
 
-AttackResult FgsmAttack::run(nn::Sequential& model, const Tensor& images,
-                             const std::vector<int>& labels) const {
+void AttackMetricsScope::record_outcome(const AttackResult& result) {
+  if (!active_) return;
+  auto& reg = obs::MetricsRegistry::global();
+  const std::size_t successes = result.success_count();
+  reg.counter("attack/" + name_ + "/successes").add(successes);
+  if (successes > 0) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+    reg.timer("attack/" + name_ + "/time_to_success")
+        .record_ns(static_cast<std::uint64_t>(ns.count()));
+  }
+}
+
+AttackMetricsScope::~AttackMetricsScope() {
+  if (!active_) return;
+  auto& reg = obs::MetricsRegistry::global();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start_);
+  reg.timer("attack/" + name_ + "/run")
+      .record_ns(static_cast<std::uint64_t>(ns.count()));
+  reg.counter("attack/" + name_ + "/grad_queries")
+      .add(reg.counter("model/backward_calls").value() - backward0_);
+  reg.counter("attack/" + name_ + "/forward_passes")
+      .add(reg.counter("model/forward_calls").value() - forward0_);
+}
+
+AttackResult Attack::run(nn::Sequential& model, const Tensor& images,
+                         const std::vector<int>& labels) const {
+  AttackMetricsScope scope(name(), configured_iterations(),
+                           images.rank() ? images.dim(0) : 0);
+  AttackResult result = run_impl(model, images, labels);
+  scope.record_outcome(result);
+  return result;
+}
+
+std::string FgsmAttack::name() const { return name_; }
+
+std::string FgsmAttack::tag() const {
+  return name_ + "_e" + fmt(cfg_.epsilon) + "_i" +
+         std::to_string(cfg_.iterations);
+}
+
+AttackResult FgsmAttack::run_impl(nn::Sequential& model, const Tensor& images,
+                                  const std::vector<int>& labels) const {
   return fgsm_attack(model, images, labels, cfg_);
 }
 
@@ -34,8 +84,9 @@ std::string CwL2Attack::tag() const {
          fmt(cfg_.initial_c) + "_lr" + fmt(cfg_.learning_rate);
 }
 
-AttackResult CwL2Attack::run(nn::Sequential& model, const Tensor& images,
-                             const std::vector<int>& labels) const {
+AttackResult CwL2Attack::run_impl(nn::Sequential& model,
+                                  const Tensor& images,
+                                  const std::vector<int>& labels) const {
   return cw_l2_attack(model, images, labels, cfg_);
 }
 
@@ -46,8 +97,9 @@ std::string DeepFoolAttack::tag() const {
          fmt(cfg_.overshoot);
 }
 
-AttackResult DeepFoolAttack::run(nn::Sequential& model, const Tensor& images,
-                                 const std::vector<int>& labels) const {
+AttackResult DeepFoolAttack::run_impl(
+    nn::Sequential& model, const Tensor& images,
+    const std::vector<int>& labels) const {
   return deepfool_attack(model, images, labels, cfg_);
 }
 
@@ -62,8 +114,8 @@ std::string EadAttack::tag() const {
          (cfg_.mode == HingeMode::Targeted ? "_tgt" : "");
 }
 
-AttackResult EadAttack::run(nn::Sequential& model, const Tensor& images,
-                            const std::vector<int>& labels) const {
+AttackResult EadAttack::run_impl(nn::Sequential& model, const Tensor& images,
+                                 const std::vector<int>& labels) const {
   return ead_attack(model, images, labels, cfg_);
 }
 
@@ -79,7 +131,7 @@ AttackRegistry::AttackRegistry() {
     cfg.iterations = 10;
     if (o.epsilon) cfg.epsilon = *o.epsilon;
     if (o.iterations) cfg.iterations = *o.iterations;
-    return std::make_unique<FgsmAttack>(cfg);
+    return std::make_unique<FgsmAttack>(cfg, "ifgsm");
   });
   add("cw-l2", [](const AttackOverrides& o) {
     CwL2Config cfg;

@@ -8,6 +8,7 @@
 // results identical to a direct call.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "attacks/cw.hpp"
 #include "attacks/deepfool.hpp"
 #include "attacks/fgsm.hpp"
+#include "obs/metrics.hpp"
 
 namespace adv::attacks {
 
@@ -38,6 +40,37 @@ struct AttackOverrides {
   std::optional<HingeMode> mode;
 };
 
+/// RAII metrics recorder for one attack run. When obs::enabled() at
+/// construction, records under "attack/<name>/...":
+///   runs, images, iterations (configured budget), grad_queries and
+///   forward_passes (deltas of the Sequential model/_calls counters over
+///   the scope), successes, a "run" wall-time timer, and — via
+///   record_outcome on a successful result — a "time_to_success" timer
+///   (wall time until the attack produced its successful examples).
+/// Attack::run applies it automatically; direct callers of the free
+/// attack functions (e.g. ModelZoo's shared-run EAD path) instantiate it
+/// themselves.
+class AttackMetricsScope {
+ public:
+  AttackMetricsScope(std::string name, std::size_t configured_iterations,
+                     std::size_t image_count);
+  AttackMetricsScope(const AttackMetricsScope&) = delete;
+  AttackMetricsScope& operator=(const AttackMetricsScope&) = delete;
+  ~AttackMetricsScope();
+
+  /// Adds success statistics; call once per produced result (the shared
+  /// EAD run records the outcome of one decision rule only, since the
+  /// rules share success flags).
+  void record_outcome(const AttackResult& result);
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t forward0_ = 0;
+  std::uint64_t backward0_ = 0;
+};
+
 /// Polymorphic attack: craft adversarial examples for `images` against
 /// `model` (raw-logit classifier), under the paper's oblivious threat
 /// model. In untargeted mode `labels` are the true labels; in targeted
@@ -54,22 +87,45 @@ class Attack {
   /// (core::ModelZoo) key stored artifacts on it.
   virtual std::string tag() const = 0;
 
-  virtual AttackResult run(nn::Sequential& model, const Tensor& images,
-                           const std::vector<int>& labels) const = 0;
+  /// Configured per-binary-search-step iteration budget (0 when the
+  /// notion does not apply). Feeds the "attack/<name>/iterations" metric.
+  virtual std::size_t configured_iterations() const { return 0; }
+
+  /// Template method: wraps run_impl in an AttackMetricsScope so every
+  /// registry-built attack reports iterations, gradient queries and
+  /// time-to-success uniformly. Results are identical to calling the
+  /// underlying free function directly.
+  AttackResult run(nn::Sequential& model, const Tensor& images,
+                   const std::vector<int>& labels) const;
+
+ protected:
+  /// The algorithm itself; subclasses implement this instead of run().
+  virtual AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+                                const std::vector<int>& labels) const = 0;
 };
 
 class FgsmAttack final : public Attack {
  public:
-  explicit FgsmAttack(FgsmConfig cfg = {}) : cfg_(cfg) {}
+  /// `name` distinguishes the registry's single-step "fgsm" from the
+  /// multi-step "ifgsm" alias in tags and metrics; both share the
+  /// algorithm and config.
+  explicit FgsmAttack(FgsmConfig cfg = {}, std::string name = "fgsm")
+      : cfg_(cfg), name_(std::move(name)) {}
   std::string name() const override;
   std::string tag() const override;
-  AttackResult run(nn::Sequential& model, const Tensor& images,
-                   const std::vector<int>& labels) const override;
+  std::size_t configured_iterations() const override {
+    return cfg_.iterations;
+  }
   FgsmConfig& config() { return cfg_; }
   const FgsmConfig& config() const { return cfg_; }
 
+ protected:
+  AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+                        const std::vector<int>& labels) const override;
+
  private:
   FgsmConfig cfg_;
+  std::string name_;
 };
 
 class CwL2Attack final : public Attack {
@@ -77,10 +133,15 @@ class CwL2Attack final : public Attack {
   explicit CwL2Attack(CwL2Config cfg = {}) : cfg_(cfg) {}
   std::string name() const override;
   std::string tag() const override;
-  AttackResult run(nn::Sequential& model, const Tensor& images,
-                   const std::vector<int>& labels) const override;
+  std::size_t configured_iterations() const override {
+    return cfg_.iterations;
+  }
   CwL2Config& config() { return cfg_; }
   const CwL2Config& config() const { return cfg_; }
+
+ protected:
+  AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+                        const std::vector<int>& labels) const override;
 
  private:
   CwL2Config cfg_;
@@ -91,10 +152,15 @@ class DeepFoolAttack final : public Attack {
   explicit DeepFoolAttack(DeepFoolConfig cfg = {}) : cfg_(cfg) {}
   std::string name() const override;
   std::string tag() const override;
-  AttackResult run(nn::Sequential& model, const Tensor& images,
-                   const std::vector<int>& labels) const override;
+  std::size_t configured_iterations() const override {
+    return cfg_.max_iterations;
+  }
   DeepFoolConfig& config() { return cfg_; }
   const DeepFoolConfig& config() const { return cfg_; }
+
+ protected:
+  AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+                        const std::vector<int>& labels) const override;
 
  private:
   DeepFoolConfig cfg_;
@@ -105,10 +171,15 @@ class EadAttack final : public Attack {
   explicit EadAttack(EadConfig cfg = {}) : cfg_(cfg) {}
   std::string name() const override;
   std::string tag() const override;
-  AttackResult run(nn::Sequential& model, const Tensor& images,
-                   const std::vector<int>& labels) const override;
+  std::size_t configured_iterations() const override {
+    return cfg_.iterations;
+  }
   EadConfig& config() { return cfg_; }
   const EadConfig& config() const { return cfg_; }
+
+ protected:
+  AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+                        const std::vector<int>& labels) const override;
 
  private:
   EadConfig cfg_;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace adv::core {
 
 DefenseEval evaluate_defense(magnet::MagNetPipeline& pipeline,
@@ -13,6 +15,7 @@ DefenseEval evaluate_defense(magnet::MagNetPipeline& pipeline,
   if (crafted.dim(0) != labels.size()) {
     throw std::invalid_argument("evaluate_defense: batch/label mismatch");
   }
+  obs::ScopedTimer obs_timer("eval/defense");
   const magnet::DefenseOutcome o = pipeline.classify(crafted, scheme);
   const std::size_t n = labels.size();
   std::size_t defended = 0, rejected = 0;

@@ -13,6 +13,7 @@
 #include "nn/pool.hpp"
 #include "nn/structural.hpp"
 #include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/serialize.hpp"
 
 namespace adv::core {
@@ -265,10 +266,18 @@ attacks::AttackResult ModelZoo::run_attack(DatasetId id,
                                            const attacks::Attack& attack) {
   const std::string key = std::string("atk_") + to_string(id) + "_" +
                           cfg_.tag() + "_" + attack.tag();
-  return cached_attack(key, [&] {
+  bool computed = false;
+  const attacks::AttackResult& r = cached_attack(key, [&] {
+    computed = true;
     const AttackSet& s = attack_set(id);
     return attack.run(*classifier(id), s.images, s.labels);
   });
+  if (!computed && obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("attack/" + attack.name() + "/cache_hits")
+        .add(1);
+  }
+  return r;
 }
 
 attacks::AttackOverrides ModelZoo::attack_defaults(DatasetId id) const {
@@ -296,9 +305,18 @@ attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
   // One optimization run serves both decision rules; craft and store both
   // on a miss.
   const std::string want = key(rule);
+  auto hit = [] {
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global().counter("attack/ead/cache_hits").add(1);
+    }
+  };
   auto it = attack_memo_.find(want);
-  if (it != attack_memo_.end()) return it->second;
+  if (it != attack_memo_.end()) {
+    hit();
+    return it->second;
+  }
   if (std::filesystem::exists(path_for(want))) {
+    hit();
     return attack_memo_.emplace(want, load_attack(path_for(want)))
         .first->second;
   }
@@ -314,8 +332,13 @@ attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
   c.learning_rate = cfg_.attack_lr;
   const attacks::DecisionRule rules[2] = {attacks::DecisionRule::EN,
                                           attacks::DecisionRule::L1};
+  // The shared EN/L1 run bypasses Attack::run, so instrument it directly;
+  // both rules share one optimization, hence one scope and one outcome.
+  attacks::AttackMetricsScope scope("ead", c.iterations,
+                                    s.images.rank() ? s.images.dim(0) : 0);
   std::vector<attacks::AttackResult> rs =
       attacks::ead_attack_multi(*classifier(id), s.images, s.labels, c, rules);
+  scope.record_outcome(rs[0]);
   for (std::size_t i = 0; i < 2; ++i) {
     store_attack(path_for(key(rules[i])), rs[i]);
     attack_memo_[key(rules[i])] = rs[i];

@@ -6,16 +6,53 @@
 
 namespace adv::nn {
 
+void Sequential::sync_obs_timers() {
+  if (obs_timers_.size() == layers_.size()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  obs_timers_.clear();
+  obs_timers_.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::string stem =
+        "layer/" + std::to_string(i) + ":" + layers_[i]->name();
+    obs_timers_.push_back(
+        {&reg.timer(stem + "/forward"), &reg.timer(stem + "/backward")});
+  }
+}
+
 Tensor Sequential::forward(const Tensor& input, Mode mode) {
   Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x, mode);
+  if (obs::enabled()) {
+    sync_obs_timers();
+    static obs::Counter& calls =
+        obs::MetricsRegistry::global().counter("model/forward_calls");
+    calls.add(1);
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      obs::ScopedTimer t(obs_timers_[i].forward);
+      x = layers_[i]->forward(x, mode);
+    }
+  } else {
+    for (auto& layer : layers_) x = layer->forward(x, mode);
+  }
   return x;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+  if (obs::enabled()) {
+    sync_obs_timers();
+    // One backward call == one gradient query: the attack metrics derive
+    // their gradient-query counts from this counter's deltas.
+    static obs::Counter& calls =
+        obs::MetricsRegistry::global().counter("model/backward_calls");
+    calls.add(1);
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+      obs::ScopedTimer t(obs_timers_[i].backward);
+      g = layers_[i]->backward(g);
+    }
+  } else {
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
   }
   return g;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "obs/metrics.hpp"
 
 namespace adv::nn {
 
@@ -71,7 +72,18 @@ class Sequential {
   void load(const std::filesystem::path& path);
 
  private:
+  // Global-registry timer handles for "layer/<i>:<name>/forward|backward",
+  // resolved lazily on the first instrumented pass and rebuilt when the
+  // layer count changes (emplace/add/append). Identical architectures
+  // share keys, so per-layer metrics aggregate across model instances.
+  struct LayerTimers {
+    obs::Timer* forward;
+    obs::Timer* backward;
+  };
+  void sync_obs_timers();
+
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<LayerTimers> obs_timers_;
 };
 
 }  // namespace adv::nn

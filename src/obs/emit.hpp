@@ -1,0 +1,40 @@
+// JSON/CSV emission of MetricsRegistry snapshots, following the repo's
+// BENCH_*.json convention (bench/micro_benchmarks writes BENCH_gemm.json
+// the same way: a small object with a header field and an array of
+// records, one line each).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace adv::obs {
+
+/// Serializes the metrics whose key starts with `prefix` (empty = all) as
+///   {"unit": "ns", "metrics": [ {"key": ..., "kind": "counter"|"gauge"|
+///    "timer", ...}, ... ]}
+/// Counters carry "value"; gauges carry "value" (double); timers carry
+/// "count", "total_ns", "min_ns", "max_ns", "mean_ns".
+std::string to_json(const MetricsRegistry& registry,
+                    std::string_view prefix = {});
+
+/// Writes to_json(registry, prefix) to `path`. Returns false (and prints
+/// to stderr) if the file cannot be written.
+bool write_json(const std::filesystem::path& path,
+                const MetricsRegistry& registry, std::string_view prefix = {});
+
+/// Global-registry convenience.
+bool write_json(const std::filesystem::path& path,
+                std::string_view prefix = {});
+
+/// CSV with header key,kind,value,count,total_ns,min_ns,max_ns — one row
+/// per metric; the columns a kind does not define are empty.
+std::string to_csv(const MetricsRegistry& registry,
+                   std::string_view prefix = {});
+
+bool write_csv(const std::filesystem::path& path,
+               const MetricsRegistry& registry, std::string_view prefix = {});
+
+}  // namespace adv::obs

@@ -1,10 +1,12 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "tensor/thread_pool.hpp"
 
 namespace adv {
@@ -202,6 +204,12 @@ void gemm_core(const OperandView& a, const OperandView& b, float* c,
     if (!opts.accumulate) std::memset(c, 0, m * n * sizeof(float));
     return;
   }
+  // Per-shape throughput accounting ("gemm/MxKxN" timer + flops counter;
+  // emitters derive GFLOP/s as flops/total_ns). One enabled() load when
+  // instrumentation is off.
+  const bool observe = obs::enabled();
+  std::chrono::steady_clock::time_point obs_t0;
+  if (observe) obs_t0 = std::chrono::steady_clock::now();
   // Pack B once into the calling thread's persistent buffer; worker
   // chunks read it shared. Per-chunk A scratch comes from the pool so the
   // buffers survive across calls (no steady-state allocation).
@@ -223,6 +231,16 @@ void gemm_core(const OperandView& a, const OperandView& b, float* c,
     static thread_local std::vector<float> a_scratch;
     gemm_rows_blocked(a, b_scratch.data(), c, 0, m, k, n, opts.accumulate,
                       a_scratch);
+  }
+
+  if (observe) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - obs_t0);
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string key = "gemm/" + std::to_string(m) + "x" +
+                            std::to_string(k) + "x" + std::to_string(n);
+    reg.timer(key).record_ns(static_cast<std::uint64_t>(ns.count()));
+    reg.counter(key + "/flops").add(2ull * m * k * n);
   }
 }
 

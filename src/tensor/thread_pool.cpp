@@ -1,9 +1,21 @@
 #include "tensor/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace adv {
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads ? threads : std::thread::hardware_concurrency();
@@ -47,7 +59,11 @@ void ThreadPool::parallel_for_indexed(
   }
   const std::size_t chunk = (total + nthreads - 1) / nthreads;
 
+  const bool observe = obs::enabled();
+  const std::int64_t dispatch_ns = observe ? steady_now_ns() : 0;
+
   // Hand chunks 1..n-1 to workers; the caller runs chunk 0.
+  std::size_t dispatched = 0;
   {
     std::lock_guard lock(mutex_);
     pending_ = 0;
@@ -55,17 +71,34 @@ void ThreadPool::parallel_for_indexed(
       const std::size_t b = begin + t * chunk;
       const std::size_t e = std::min(end, b + chunk);
       if (b >= e) break;
-      tasks_[t - 1] = Task{&fn, t, b, e};
+      tasks_[t - 1] = Task{&fn, t, b, e, dispatch_ns};
       ++pending_;
     }
+    dispatched = pending_;
     ++generation_;
   }
   cv_start_.notify_all();
 
+  if (observe) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& calls = reg.counter("pool/parallel_for_calls");
+    static obs::Counter& tasks = reg.counter("pool/tasks_dispatched");
+    calls.add(1);
+    tasks.add(dispatched + 1);  // workers + the caller's own chunk
+  }
+
   fn(0, begin, std::min(end, begin + chunk));
 
   std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  if (observe && pending_ != 0) {
+    // Time the caller spends blocked on stragglers (load-imbalance signal).
+    static obs::Timer& wait = obs::MetricsRegistry::global().timer(
+        "pool/caller_wait");
+    obs::ScopedTimer scope(&wait);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+  } else {
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -84,6 +117,13 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       tasks_[worker_index].fn = nullptr;
     }
     if (task.fn) {
+      if (task.dispatch_ns != 0) {
+        static obs::Timer& queue_wait =
+            obs::MetricsRegistry::global().timer("pool/queue_wait");
+        queue_wait.record_ns(
+            static_cast<std::uint64_t>(
+                std::max<std::int64_t>(0, steady_now_ns() - task.dispatch_ns)));
+      }
       (*task.fn)(task.chunk, task.begin, task.end);
       std::lock_guard lock(mutex_);
       if (--pending_ == 0) cv_done_.notify_all();

@@ -66,6 +66,9 @@ class ThreadPool {
     std::size_t chunk = 0;
     std::size_t begin = 0;
     std::size_t end = 0;
+    // steady_clock dispatch stamp (ns since epoch); 0 when obs is off.
+    // Lets the worker report queue-wait time (pickup - dispatch).
+    std::int64_t dispatch_ns = 0;
   };
 
   void worker_loop(std::size_t worker_index);

@@ -175,6 +175,122 @@ TEST_P(AttackProperties, LargerBetaNeverIncreasesSupport) {
   }
 }
 
+TEST_P(AttackProperties, IstaStepNeverIncreasesElasticNetObjective) {
+  // One ISTA step on the attack's distortion objective
+  //   E(v) = ||v - x0||_2^2 + beta * ||v - x0||_1   over the [0,1] box
+  // is v+ = shrink_project(y - lr * 2(y - x0), x0, lr * beta): a gradient
+  // step on the smooth part followed by the prox of lr * beta * ||.||_1
+  // (which shrink_project's threshold argument realizes). For
+  // lr <= 1/L = 1/2 the proximal-gradient majorization guarantees
+  // E(v+) <= E(v) — the descent property eq. (4)'s loop relies on.
+  Rng rng(GetParam() + 61);
+  const float beta = 0.05f;
+  const float lr = 0.25f;
+  Tensor x0({30}), y({30});
+  fill_uniform(x0, rng, 0.0f, 1.0f);
+  fill_uniform(y, rng, -0.2f, 1.2f);
+  shrink_project(y, x0, 0.0f, y);  // start feasible (clip into the box)
+
+  auto objective = [&](const Tensor& v) {
+    double e = 0.0;
+    for (std::size_t i = 0; i < v.numel(); ++i) {
+      const double d = static_cast<double>(v[i]) - static_cast<double>(x0[i]);
+      e += d * d + static_cast<double>(beta) * std::fabs(d);
+    }
+    return e;
+  };
+
+  Tensor z = y, next;
+  double prev = objective(y);
+  for (int step = 0; step < 10; ++step) {
+    Tensor grad_point = z;
+    for (std::size_t i = 0; i < z.numel(); ++i) {
+      grad_point[i] = z[i] - lr * 2.0f * (z[i] - x0[i]);
+    }
+    shrink_project(grad_point, x0, lr * beta, next);
+    const double cur = objective(next);
+    EXPECT_LE(cur, prev + 1e-7) << "step " << step;
+    prev = cur;
+    std::swap(z, next);
+  }
+}
+
+TEST_P(AttackProperties, BetaZeroEadReducesToCwL2) {
+  // cw_l2_attack is defined as EAD with beta = 0, the L2 decision rule
+  // and plain ISTA; an explicitly configured beta = 0 EAD run must
+  // reproduce it bit for bit (same optimizer trajectory, same examples).
+  nn::Sequential m = random_mlp(GetParam() + 71);
+  auto [x, labels] = labeled_batch(m, GetParam() + 72, 6);
+
+  CwL2Config cw;
+  cw.kappa = 0.5f;
+  cw.iterations = 60;
+  cw.binary_search_steps = 3;
+  cw.initial_c = 1.0f;
+  const AttackResult rc = cw_l2_attack(m, x, labels, cw);
+
+  EadConfig ead;
+  ead.beta = 0.0f;
+  ead.kappa = cw.kappa;
+  ead.iterations = cw.iterations;
+  ead.binary_search_steps = cw.binary_search_steps;
+  ead.initial_c = cw.initial_c;
+  ead.learning_rate = cw.learning_rate;
+  ead.rule = DecisionRule::L2;
+  ead.use_fista = false;
+  const AttackResult re = ead_attack(m, x, labels, ead);
+
+  ASSERT_EQ(rc.success, re.success);
+  ASSERT_EQ(rc.adversarial.numel(), re.adversarial.numel());
+  for (std::size_t i = 0; i < rc.adversarial.numel(); ++i) {
+    ASSERT_EQ(rc.adversarial[i], re.adversarial[i]) << "pixel " << i;
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(rc.l1[i], re.l1[i]);
+    EXPECT_EQ(rc.l2[i], re.l2[i]);
+    EXPECT_EQ(rc.linf[i], re.linf[i]);
+  }
+}
+
+TEST_P(AttackProperties, AdversarialExamplesSatisfyExactBoxConstraints) {
+  // Every crafting path must emit pixels exactly inside [0, 1] — not
+  // within a tolerance: downstream defenses assume valid images, and the
+  // projection/clipping operators are exact by construction.
+  nn::Sequential m = random_mlp(GetParam() + 81);
+  auto [x, labels] = labeled_batch(m, GetParam() + 82, 5);
+
+  auto expect_in_box = [](const AttackResult& r, const char* who) {
+    for (std::size_t i = 0; i < r.adversarial.numel(); ++i) {
+      ASSERT_GE(r.adversarial[i], 0.0f) << who << " pixel " << i;
+      ASSERT_LE(r.adversarial[i], 1.0f) << who << " pixel " << i;
+    }
+  };
+
+  EadConfig ecfg;
+  ecfg.beta = 0.05f;
+  ecfg.kappa = 0.5f;
+  ecfg.iterations = 40;
+  ecfg.binary_search_steps = 2;
+  ecfg.initial_c = 1.0f;
+  expect_in_box(ead_attack(m, x, labels, ecfg), "ead");
+
+  FgsmConfig fcfg;
+  fcfg.epsilon = 0.3f;  // large enough that raw steps would leave the box
+  fcfg.iterations = 5;
+  expect_in_box(fgsm_attack(m, x, labels, fcfg), "ifgsm");
+
+  // shrink_project itself clamps exactly even from far outside the box.
+  Rng rng(GetParam() + 83);
+  Tensor z({25}), x0({25}), out;
+  fill_uniform(z, rng, -5.0f, 5.0f);
+  fill_uniform(x0, rng, 0.0f, 1.0f);
+  shrink_project(z, x0, 0.1f, out);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    ASSERT_GE(out[i], 0.0f);
+    ASSERT_LE(out[i], 1.0f);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, AttackProperties,
                          ::testing::Values(101, 202, 303, 404, 505));
 

@@ -180,8 +180,10 @@ TEST(AttackRegistry, OutOfTreeAttackCanRegister) {
    public:
     std::string name() const override { return "null"; }
     std::string tag() const override { return "null"; }
-    AttackResult run(nn::Sequential&, const Tensor& images,
-                     const std::vector<int>& labels) const override {
+
+   protected:
+    AttackResult run_impl(nn::Sequential&, const Tensor& images,
+                          const std::vector<int>& labels) const override {
       AttackResult r;
       r.adversarial = images;
       r.success.assign(labels.size(), false);

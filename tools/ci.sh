@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-command verification gate: fresh configure, build, full test suite,
+# then a short instrumented benchmark pass that must emit the metrics
+# artifacts (BENCH_gemm.json, BENCH_layers.json).
+#
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+# Env:   ADV_OBS=0 pins the instrumentation off (overhead A/B runs);
+#        JOBS=N overrides the parallelism (default: nproc).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build-ci}"
+jobs="${JOBS:-$(nproc)}"
+
+cd "$repo_root"
+
+echo "== configure ($build_dir) =="
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+
+echo "== build (-j$jobs) =="
+cmake --build "$build_dir" -j"$jobs"
+
+echo "== ctest =="
+ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
+
+echo "== micro benchmarks (metrics emission) =="
+# A filtered run keeps CI fast; the driver still writes BENCH_gemm.json
+# and, with instrumentation on, BENCH_layers.json on exit.
+(cd "$build_dir" &&
+ ./bench/micro_benchmarks --benchmark_filter='BM_Gemm/256' \
+                          --benchmark_min_time=0.05)
+
+fail=0
+for artifact in BENCH_gemm.json BENCH_layers.json; do
+  if [ -s "$build_dir/$artifact" ]; then
+    echo "ok: $build_dir/$artifact"
+  elif [ "$artifact" = BENCH_layers.json ] && [ "${ADV_OBS:-1}" = 0 ]; then
+    echo "skipped: $artifact (ADV_OBS=0)"
+  else
+    echo "MISSING: $build_dir/$artifact" >&2
+    fail=1
+  fi
+done
+exit "$fail"
