@@ -86,5 +86,11 @@ int main() {
       obs::write_json("BENCH_attacks.json", "attack/")) {
     std::printf("wrote BENCH_attacks.json\n");
   }
+  // Self-healing counters (fault/cache_quarantined, fault/cache_rebuilt,
+  // fault/train_diverged) are recorded unconditionally — emit them even
+  // when the per-attack instrumentation is pinned off.
+  if (obs::write_json("BENCH_fault.json", "fault/")) {
+    std::printf("wrote BENCH_fault.json\n");
+  }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include <bit>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -18,6 +20,42 @@ std::vector<float> arange(float lo, float hi, float step) {
 }
 
 }  // namespace
+
+std::uint64_t ScaleConfig::config_hash() const {
+  std::uint64_t h = 0xCBF2'9CE4'8422'2325ull;  // FNV-1a offset basis
+  const auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 0x0000'0100'0000'01B3ull;  // FNV prime
+    }
+  };
+  const auto fold_f = [&fold](float v) { fold(std::bit_cast<std::uint32_t>(v)); };
+  fold(train_count);
+  fold(val_count);
+  fold(test_count);
+  fold(classifier_epochs);
+  fold(ae_epochs);
+  fold(batch_size);
+  fold(attack_count);
+  fold(attack_iterations);
+  fold(binary_search_steps);
+  fold_f(attack_lr);
+  fold_f(initial_c);
+  fold_f(initial_c_cifar);
+  fold(default_filters_mnist);
+  fold(default_filters_cifar);
+  fold(wide_filters);
+  fold_f(detector_fpr);
+  fold(seed);
+  return h;
+}
+
+std::string ScaleConfig::cache_tag() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(config_hash()));
+  return tag() + "-" + buf;
+}
 
 ScaleConfig scale_from_env() {
   ScaleConfig cfg;

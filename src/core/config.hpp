@@ -77,8 +77,20 @@ struct ScaleConfig {
     return id == DatasetId::Mnist ? mnist_kappas : cifar_kappas;
   }
 
-  /// Tag embedded in cache filenames so fast/full artifacts never mix.
+  /// Human-readable profile tag ("fast" / "full").
   std::string tag() const { return full ? "full" : "fast"; }
+
+  /// FNV-1a hash over every field that changes a cached artifact
+  /// (dataset sizes, training budgets, attack budgets, AE widths, seed).
+  /// The kappa sweep lists and cache_dir are excluded: per-attack kappas
+  /// already appear in the attack tags, and cache_dir is the cache's own
+  /// location.
+  std::uint64_t config_hash() const;
+
+  /// Tag embedded in cache filenames: the profile plus config_hash(), so
+  /// two zoos with different scale fields can safely share one cache_dir
+  /// without silently exchanging stale artifacts. E.g. "fast-9f82a1c03d44e5b7".
+  std::string cache_tag() const;
 };
 
 /// Reads REPRO_SCALE (fast|full) and REPRO_CACHE_DIR from the environment.

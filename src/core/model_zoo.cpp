@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "data/syn_digits.hpp"
@@ -49,10 +50,43 @@ nn::Sequential build_classifier(DatasetId id, std::size_t image_hw,
 
 ModelZoo::ModelZoo(ScaleConfig cfg) : cfg_(std::move(cfg)) {
   std::filesystem::create_directories(cfg_.cache_dir);
+  // Register the self-healing counters eagerly so they appear (as 0) in
+  // every emitted snapshot, clean runs included.
+  obs::MetricsRegistry::global().counter("fault/cache_quarantined");
+  obs::MetricsRegistry::global().counter("fault/cache_rebuilt");
 }
 
 std::filesystem::path ModelZoo::path_for(const std::string& key) const {
   return cfg_.cache_dir / (key + ".bin");
+}
+
+ModelZoo::CacheLoad ModelZoo::try_load_cached(
+    const std::filesystem::path& path, const std::function<void()>& do_load) {
+  if (!std::filesystem::exists(path)) return CacheLoad::Miss;
+  try {
+    do_load();
+    return CacheLoad::Hit;
+  } catch (const std::exception& e) {
+    std::filesystem::path quarantined = path;
+    quarantined += ".corrupt";
+    std::error_code ec;
+    std::filesystem::rename(path, quarantined, ec);
+    if (ec) std::filesystem::remove(path, ec);  // never re-load a bad file
+    // Quarantine events are rare and serious; count them unconditionally
+    // (not gated on obs::enabled) so post-mortems always see them.
+    obs::MetricsRegistry::global().counter("fault/cache_quarantined").add(1);
+    std::fprintf(stderr,
+                 "[zoo] warning: quarantined corrupt cache file %s -> %s "
+                 "(%s); recomputing\n",
+                 path.c_str(), quarantined.c_str(), e.what());
+    return CacheLoad::Corrupt;
+  }
+}
+
+void ModelZoo::note_rebuilt(CacheLoad reason) {
+  if (reason == CacheLoad::Corrupt) {
+    obs::MetricsRegistry::global().counter("fault/cache_rebuilt").add(1);
+  }
 }
 
 const ModelZoo::Splits& ModelZoo::dataset(DatasetId id) {
@@ -106,11 +140,10 @@ std::shared_ptr<nn::Sequential> ModelZoo::classifier(DatasetId id) {
   auto model = std::make_shared<nn::Sequential>(build_classifier(id, hw, rng));
 
   const std::string key =
-      std::string("classifier_") + to_string(id) + "_" + cfg_.tag();
+      std::string("classifier_") + to_string(id) + "_" + cfg_.cache_tag();
   const auto path = path_for(key);
-  if (std::filesystem::exists(path)) {
-    model->load(path);
-  } else {
+  const CacheLoad cl = try_load_cached(path, [&] { model->load(path); });
+  if (cl != CacheLoad::Hit) {
     std::printf("[zoo] training %s classifier (%zu images, %zu epochs)...\n",
                 to_string(id), ds.train.size(), cfg_.classifier_epochs);
     std::fflush(stdout);
@@ -121,6 +154,7 @@ std::shared_ptr<nn::Sequential> ModelZoo::classifier(DatasetId id) {
     tc.shuffle_seed = cfg_.seed + 202;
     nn::fit_classifier(*model, ds.train.images, ds.train.labels, opt, tc);
     model->save(path);
+    note_rebuilt(cl);
     std::printf("[zoo] %s classifier: train acc %.3f, test acc %.3f\n",
                 to_string(id),
                 nn::classification_accuracy(*model, ds.train.images,
@@ -147,7 +181,8 @@ std::shared_ptr<nn::Sequential> ModelZoo::autoencoder(DatasetId id,
       std::string("ae_") + to_string(id) + "_a" +
       std::to_string(static_cast<int>(arch)) + "_f" +
       std::to_string(filters) + "_" +
-      (loss == magnet::ReconLoss::Mse ? "mse" : "mae") + "_" + cfg_.tag();
+      (loss == magnet::ReconLoss::Mse ? "mse" : "mae") + "_" +
+      cfg_.cache_tag();
   auto it = autoencoders_.find(key);
   if (it != autoencoders_.end()) return it->second;
 
@@ -170,14 +205,14 @@ std::shared_ptr<nn::Sequential> ModelZoo::autoencoder(DatasetId id,
   auto model =
       std::make_shared<nn::Sequential>(magnet::build_autoencoder(ac, rng));
   const auto path = path_for(key);
-  if (std::filesystem::exists(path)) {
-    model->load(path);
-  } else {
+  const CacheLoad cl = try_load_cached(path, [&] { model->load(path); });
+  if (cl != CacheLoad::Hit) {
     std::printf("[zoo] training %s (filters=%zu, %s)...\n", key.c_str(),
                 filters, loss == magnet::ReconLoss::Mse ? "mse" : "mae");
     std::fflush(stdout);
     model = magnet::train_autoencoder(ac, ds.train.images);
     model->save(path);
+    note_rebuilt(cl);
   }
   autoencoders_[key] = model;
   return model;
@@ -252,20 +287,23 @@ attacks::AttackResult ModelZoo::cached_attack(
   auto it = attack_memo_.find(key);
   if (it != attack_memo_.end()) return it->second;
   const auto path = path_for(key);
-  if (std::filesystem::exists(path)) {
-    return attack_memo_.emplace(key, load_attack(path)).first->second;
+  std::optional<attacks::AttackResult> loaded;
+  const CacheLoad cl = try_load_cached(path, [&] { loaded = load_attack(path); });
+  if (cl == CacheLoad::Hit) {
+    return attack_memo_.emplace(key, std::move(*loaded)).first->second;
   }
   std::printf("[zoo] crafting %s ...\n", key.c_str());
   std::fflush(stdout);
   attacks::AttackResult r = compute();
   store_attack(path, r);
+  note_rebuilt(cl);
   return attack_memo_.emplace(key, std::move(r)).first->second;
 }
 
 attacks::AttackResult ModelZoo::run_attack(DatasetId id,
                                            const attacks::Attack& attack) {
   const std::string key = std::string("atk_") + to_string(id) + "_" +
-                          cfg_.tag() + "_" + attack.tag();
+                          cfg_.cache_tag() + "_" + attack.tag();
   bool computed = false;
   const attacks::AttackResult& r = cached_attack(key, [&] {
     computed = true;
@@ -298,9 +336,9 @@ attacks::AttackResult ModelZoo::cw(DatasetId id, float kappa) {
 attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
                                     attacks::DecisionRule rule) {
   auto key = [&](attacks::DecisionRule r) {
-    return std::string("atk_") + to_string(id) + "_" + cfg_.tag() + "_ead_b" +
-           format_float_key(beta) + "_k" + format_float_key(kappa) + "_" +
-           attacks::to_string(r);
+    return std::string("atk_") + to_string(id) + "_" + cfg_.cache_tag() +
+           "_ead_b" + format_float_key(beta) + "_k" + format_float_key(kappa) +
+           "_" + attacks::to_string(r);
   };
   // One optimization run serves both decision rules; craft and store both
   // on a miss.
@@ -315,10 +353,12 @@ attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
     hit();
     return it->second;
   }
-  if (std::filesystem::exists(path_for(want))) {
+  std::optional<attacks::AttackResult> loaded;
+  const CacheLoad cl = try_load_cached(
+      path_for(want), [&] { loaded = load_attack(path_for(want)); });
+  if (cl == CacheLoad::Hit) {
     hit();
-    return attack_memo_.emplace(want, load_attack(path_for(want)))
-        .first->second;
+    return attack_memo_.emplace(want, std::move(*loaded)).first->second;
   }
   std::printf("[zoo] crafting %s (+ sibling rule) ...\n", want.c_str());
   std::fflush(stdout);
@@ -343,6 +383,7 @@ attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
     store_attack(path_for(key(rules[i])), rs[i]);
     attack_memo_[key(rules[i])] = rs[i];
   }
+  note_rebuilt(cl);
   return attack_memo_.at(want);
 }
 

@@ -4,13 +4,16 @@
 //
 // Training a classifier or running a 1000-iteration attack sweep is
 // expensive; fifteen bench binaries reproduce overlapping figures, so all
-// artifacts are cached on disk under ScaleConfig::cache_dir keyed by a
-// config tag. Deleting the cache directory forces recomputation.
+// artifacts are cached on disk under ScaleConfig::cache_dir keyed by
+// ScaleConfig::cache_tag() — the fast/full profile plus a hash of every
+// artifact-affecting scale field, so zoos with different counts can share
+// one cache_dir safely. Deleting the cache directory forces recomputation.
 //
-// CAUTION: cache keys carry the fast/full tag but not every ScaleConfig
-// field — two zoos with different dataset/training counts MUST use
-// distinct cache_dir values (the examples each use their own
-// subdirectory) or they will silently share stale artifacts.
+// The cache self-heals: a load that fails for any reason (bad magic or
+// version, CRC mismatch, truncation, shape mismatch) quarantines the file
+// to `<name>.corrupt`, bumps the `fault/cache_quarantined` counter, and
+// transparently recomputes the artifact (`fault/cache_rebuilt`) instead
+// of throwing, so a single bit-flipped file cannot kill a long run.
 #pragma once
 
 #include <functional>
@@ -91,7 +94,16 @@ class ModelZoo {
   attacks::AttackResult deepfool(DatasetId id);
 
  private:
+  enum class CacheLoad { Hit, Miss, Corrupt };
+
   std::filesystem::path path_for(const std::string& key) const;
+  /// Runs `do_load` if `path` exists. Any load exception quarantines the
+  /// file to `<path>.corrupt` (counter: fault/cache_quarantined) and
+  /// returns Corrupt so the caller recomputes; callers bump
+  /// fault/cache_rebuilt after rebuilding a Corrupt entry.
+  static CacheLoad try_load_cached(const std::filesystem::path& path,
+                                   const std::function<void()>& do_load);
+  static void note_rebuilt(CacheLoad reason);
   attacks::AttackResult cached_attack(
       const std::string& key,
       const std::function<attacks::AttackResult()>& compute);

@@ -1,0 +1,184 @@
+#include "fault/failpoint.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace adv::fault {
+namespace {
+
+struct ArmedPoint {
+  Action action = Action::None;
+  std::uint64_t after = 0;  // hits [0, after) pass untouched
+  bool once = false;        // trigger only on hit index == after
+  std::uint64_t hits = 0;   // guarded by State::mutex
+};
+
+void arm_into(struct State& s, const std::string& specs);
+
+struct State {
+  std::atomic<std::uint64_t> armed_count{0};
+  std::mutex mutex;
+  std::map<std::string, ArmedPoint, std::less<>> points;
+
+  State() {
+    if (const char* env = std::getenv("ADV_FAULT")) {
+      try {
+        // Must not call the public arm(): that re-enters the state()
+        // magic static whose initialization we are inside of.
+        arm_into(*this, env);
+      } catch (const std::exception& e) {
+        // A typo in ADV_FAULT must not crash static initialization; warn
+        // loudly and run unarmed instead.
+        std::fprintf(stderr, "[fault] ignoring malformed ADV_FAULT: %s\n",
+                     e.what());
+      }
+    }
+  }
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+[[noreturn]] void bad_spec(std::string_view spec, const char* why) {
+  throw std::invalid_argument("fault::arm: bad spec '" + std::string(spec) +
+                              "': " + why);
+}
+
+// Parses one "site:action[_once][_after=N]" spec into (site, point).
+void parse_spec(std::string_view spec, std::string& site, ArmedPoint& point) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    bad_spec(spec, "expected 'site:action'");
+  }
+  site = std::string(spec.substr(0, colon));
+  std::string_view rest = spec.substr(colon + 1);
+
+  static constexpr struct {
+    std::string_view name;
+    Action action;
+  } kActions[] = {
+      {"fail", Action::Fail},
+      {"short_write", Action::ShortWrite},
+      {"bitflip", Action::BitFlip},
+      {"nan", Action::Nan},
+  };
+  point = ArmedPoint{};
+  for (const auto& a : kActions) {
+    if (rest.substr(0, a.name.size()) == a.name) {
+      point.action = a.action;
+      rest.remove_prefix(a.name.size());
+      break;
+    }
+  }
+  if (point.action == Action::None) {
+    bad_spec(spec, "unknown action (want fail|short_write|bitflip|nan)");
+  }
+  while (!rest.empty()) {
+    if (rest.substr(0, 5) == "_once") {
+      point.once = true;
+      rest.remove_prefix(5);
+    } else if (rest.substr(0, 7) == "_after=") {
+      rest.remove_prefix(7);
+      std::size_t len = 0;
+      while (len < rest.size() && rest[len] >= '0' && rest[len] <= '9') ++len;
+      if (!parse_u64(rest.substr(0, len), point.after)) {
+        bad_spec(spec, "'_after=' needs a number");
+      }
+      rest.remove_prefix(len);
+    } else {
+      bad_spec(spec, "unknown modifier (want _once or _after=N)");
+    }
+  }
+}
+
+void arm_into(State& s, const std::string& specs) {
+  std::string_view rest = specs;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view spec = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (spec.empty()) continue;
+    std::string site;
+    ArmedPoint point;
+    parse_spec(spec, site, point);
+    std::lock_guard lock(s.mutex);
+    s.points[site] = point;
+    s.armed_count.store(s.points.size(), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+const char* to_string(Action a) {
+  switch (a) {
+    case Action::None: return "none";
+    case Action::Fail: return "fail";
+    case Action::ShortWrite: return "short_write";
+    case Action::BitFlip: return "bitflip";
+    case Action::Nan: return "nan";
+  }
+  return "?";
+}
+
+bool enabled() {
+  return state().armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+namespace detail {
+
+Action check_slow(std::string_view site) {
+  State& s = state();
+  std::lock_guard lock(s.mutex);
+  auto it = s.points.find(site);
+  if (it == s.points.end()) return Action::None;
+  ArmedPoint& p = it->second;
+  const std::uint64_t h = p.hits++;
+  const bool triggered = p.once ? h == p.after : h >= p.after;
+  return triggered ? p.action : Action::None;
+}
+
+}  // namespace detail
+
+void arm(const std::string& specs) { arm_into(state(), specs); }
+
+void reset() {
+  State& s = state();
+  std::lock_guard lock(s.mutex);
+  s.points.clear();
+  s.armed_count.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hit_count(std::string_view site) {
+  State& s = state();
+  std::lock_guard lock(s.mutex);
+  auto it = s.points.find(site);
+  return it == s.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> armed_sites() {
+  State& s = state();
+  std::lock_guard lock(s.mutex);
+  std::vector<std::string> out;
+  out.reserve(s.points.size());
+  for (const auto& [site, _] : s.points) out.push_back(site);
+  return out;
+}
+
+}  // namespace adv::fault

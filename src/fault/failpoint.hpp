@@ -1,0 +1,77 @@
+// adv::fault — a deterministic failpoint registry for fault-injection
+// testing of the recovery paths (artifact store, ModelZoo cache, trainer
+// divergence guards).
+//
+// A failpoint is a named site in production code (e.g. "serialize.write",
+// "trainer.loss") that asks the registry what to do on every pass. Sites
+// are armed from the ADV_FAULT environment variable or programmatically
+// via arm(); an unarmed process pays one relaxed atomic load per check —
+// the same gating pattern as ADV_OBS (see obs/metrics.hpp).
+//
+// Spec grammar (comma-separated list):
+//   spec    := site ':' action modifier*
+//   site    := [A-Za-z0-9_.]+            e.g. serialize.write
+//   action  := fail | short_write | bitflip | nan
+//   modifier:= '_once'                   trigger on exactly one hit
+//            | '_after=' N               first N hits pass untouched
+// Examples:
+//   ADV_FAULT=serialize.write:fail_after=2,trainer.loss:nan_once
+//     → the third and every later save throws an injected I/O error, and
+//       exactly one training batch sees a NaN loss.
+//
+// Semantics per armed site, with hit index h counting from 0:
+//   plain         trigger on every hit       (h >= 0)
+//   _after=N      trigger on every hit h >= N
+//   _once         trigger only on h == N     (N = 0 unless _after given)
+// The hit counter always advances, triggered or not, so sequencing is
+// deterministic under a fixed workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adv::fault {
+
+enum class Action : std::uint8_t {
+  None = 0,    // proceed normally
+  Fail,        // throw an injected I/O failure
+  ShortWrite,  // truncate the artifact being written (torn write)
+  BitFlip,     // flip one byte of the written artifact (silent corruption)
+  Nan,         // poison a computed value with quiet NaN
+};
+
+const char* to_string(Action a);
+
+/// True iff any site is armed (one relaxed atomic load). Forces the
+/// one-time ADV_FAULT parse on first call.
+bool enabled();
+
+namespace detail {
+Action check_slow(std::string_view site);
+}
+
+/// Evaluates the failpoint at `site` and advances its hit counter.
+/// Returns Action::None unless the site is armed and triggered. When
+/// nothing is armed this is a single relaxed atomic load.
+inline Action check(std::string_view site) {
+  return enabled() ? detail::check_slow(site) : Action::None;
+}
+
+/// Parses `specs` (see grammar above) and arms the listed sites, replacing
+/// any previous arming of the same site. Throws std::invalid_argument on
+/// a malformed spec, leaving already-parsed sites from the same call armed.
+void arm(const std::string& specs);
+
+/// Disarms every site (including ADV_FAULT-armed ones) and zeroes hit
+/// counters. Tests call this in SetUp/TearDown for isolation.
+void reset();
+
+/// Total check() evaluations seen by `site` since arming (0 if unarmed).
+std::uint64_t hit_count(std::string_view site);
+
+/// Names of all currently armed sites, sorted.
+std::vector<std::string> armed_sites();
+
+}  // namespace adv::fault

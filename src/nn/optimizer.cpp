@@ -5,8 +5,9 @@
 
 namespace adv::nn {
 
-Optimizer::Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads)
-    : params_(std::move(params)), grads_(std::move(grads)) {
+Optimizer::Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+                     float lr)
+    : params_(std::move(params)), grads_(std::move(grads)), lr_(lr) {
   if (params_.size() != grads_.size()) {
     throw std::invalid_argument("Optimizer: params/grads size mismatch");
   }
@@ -24,8 +25,7 @@ void Optimizer::zero_grad() {
 
 Sgd::Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
          float momentum)
-    : Optimizer(std::move(params), std::move(grads)),
-      lr_(lr),
+    : Optimizer(std::move(params), std::move(grads), lr),
       momentum_(momentum) {
   velocity_.reserve(params_.size());
   for (Tensor* p : params_) velocity_.emplace_back(p->shape());
@@ -45,8 +45,7 @@ void Sgd::step() {
 
 Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
            float beta1, float beta2, float eps)
-    : Optimizer(std::move(params), std::move(grads)),
-      lr_(lr),
+    : Optimizer(std::move(params), std::move(grads), lr),
       beta1_(beta1),
       beta2_(beta2),
       eps_(eps) {

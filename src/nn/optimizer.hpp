@@ -12,7 +12,7 @@ class Optimizer {
  public:
   /// `params` and `grads` must be aligned index-by-index and outlive the
   /// optimizer (they point into a Sequential's layers).
-  Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads);
+  Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr);
   virtual ~Optimizer() = default;
 
   /// Applies one update using the currently accumulated gradients.
@@ -20,9 +20,15 @@ class Optimizer {
 
   void zero_grad();
 
+  /// Learning rate, shared across optimizers so generic code (the
+  /// Trainer's divergence backoff halves it) can adjust any of them.
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
  protected:
   std::vector<Tensor*> params_;
   std::vector<Tensor*> grads_;
+  float lr_;
 };
 
 class Sgd final : public Optimizer {
@@ -30,10 +36,8 @@ class Sgd final : public Optimizer {
   Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
       float momentum = 0.0f);
   void step() override;
-  void set_lr(float lr) { lr_ = lr; }
 
  private:
-  float lr_;
   float momentum_;
   std::vector<Tensor> velocity_;
 };
@@ -44,10 +48,9 @@ class Adam final : public Optimizer {
        float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
        float eps = 1e-8f);
   void step() override;
-  void set_lr(float lr) { lr_ = lr; }
 
  private:
-  float lr_, beta1_, beta2_, eps_;
+  float beta1_, beta2_, eps_;
   std::vector<Tensor> m_, v_;
   long t_ = 0;
 };

@@ -1,10 +1,14 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "fault/failpoint.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -19,6 +23,68 @@ std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
     std::swap(idx[i - 1], idx[rng.uniform_index(i)]);
   }
   return idx;
+}
+
+// Guards one fit loop against divergence. Keeps a rolling snapshot of the
+// last-good weights; on a non-finite loss or gradient the caller skips the
+// step and this restores the snapshot and halves the learning rate.
+// Optimizer moments (Adam m/v) are deliberately left alone: they are
+// finite (the poisoned gradient never reached step()) and re-converge
+// within a few batches.
+class DivergenceGuard {
+ public:
+  DivergenceGuard(Sequential& model, Optimizer& opt, TrainStats& stats)
+      : model_(model), opt_(opt), stats_(stats) {
+    refresh_snapshot();
+  }
+
+  /// True when every accumulated gradient is finite.
+  bool gradients_finite() {
+    for (Tensor* g : model_.gradients()) {
+      for (float v : g->values()) {
+        if (!std::isfinite(v)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Skip-batch path: restore last-good weights, halve the LR, record.
+  void on_divergence(const char* what, std::size_t epoch, std::size_t batch) {
+    ++stats_.skipped_batches;
+    ++stats_.lr_backoffs;
+    ++stats_.snapshot_restores;
+    opt_.set_lr(opt_.lr() * 0.5f);
+    std::vector<Tensor*> params = model_.parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) *params[i] = snapshot_[i];
+    // Rare and serious enough to always count (not gated on obs::enabled).
+    obs::MetricsRegistry::global().counter("fault/train_diverged").add(1);
+    std::fprintf(stderr,
+                 "[trainer] warning: %s at epoch %zu batch %zu; skipped "
+                 "batch, restored last-good weights, lr -> %g\n",
+                 what, epoch + 1, batch,
+                 static_cast<double>(opt_.lr()));
+  }
+
+  /// Called after each epoch whose batches were all finite.
+  void refresh_snapshot() {
+    snapshot_.clear();
+    for (Tensor* p : model_.parameters()) snapshot_.push_back(*p);
+  }
+
+ private:
+  Sequential& model_;
+  Optimizer& opt_;
+  TrainStats& stats_;
+  std::vector<Tensor> snapshot_;
+};
+
+// The "trainer.loss" failpoint lets CI inject a NaN loss without touching
+// the math; check() is one relaxed atomic load when ADV_FAULT is unset.
+float maybe_poison(float loss_value) {
+  if (fault::check("trainer.loss") == fault::Action::Nan) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  return loss_value;
 }
 
 Tensor gather_rows(const Tensor& images, const std::vector<std::size_t>& idx,
@@ -46,8 +112,10 @@ TrainStats fit_classifier(Sequential& model, const Tensor& images,
   Rng rng(cfg.shuffle_seed);
   SoftmaxCrossEntropy loss;
   TrainStats stats;
+  DivergenceGuard guard(model, opt, stats);
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     const auto idx = shuffled_indices(n, rng);
+    const std::size_t skipped_before = stats.skipped_batches;
     double epoch_loss = 0.0;
     std::size_t batches = 0;
     for (std::size_t b = 0; b < n; b += cfg.batch_size) {
@@ -56,14 +124,25 @@ TrainStats fit_classifier(Sequential& model, const Tensor& images,
       std::vector<int> y(e - b);
       for (std::size_t i = b; i < e; ++i) y[i - b] = labels[idx[i]];
       const Tensor logits = model.forward(x, Mode::Train);
-      epoch_loss += loss.forward(logits, y);
-      ++batches;
+      const float batch_loss = maybe_poison(loss.forward(logits, y));
+      if (!std::isfinite(batch_loss)) {
+        guard.on_divergence("non-finite loss", epoch, b / cfg.batch_size);
+        continue;
+      }
       model.zero_grad();
       model.backward(loss.backward());
+      if (!guard.gradients_finite()) {
+        guard.on_divergence("non-finite gradient", epoch, b / cfg.batch_size);
+        continue;
+      }
       opt.step();
+      epoch_loss += batch_loss;
+      ++batches;
     }
     stats.epoch_losses.push_back(
-        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+        batches ? static_cast<float>(epoch_loss / static_cast<double>(batches))
+                : std::numeric_limits<float>::quiet_NaN());
+    if (stats.skipped_batches == skipped_before) guard.refresh_snapshot();
     if (cfg.verbose) {
       std::printf("  epoch %zu/%zu  loss %.4f\n", epoch + 1, cfg.epochs,
                   stats.epoch_losses.back());
@@ -82,8 +161,10 @@ TrainStats fit_autoencoder(Sequential& model, const Tensor& images,
   Rng rng(cfg.shuffle_seed);
   Rng noise_rng = rng.fork();
   TrainStats stats;
+  DivergenceGuard guard(model, opt, stats);
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     const auto idx = shuffled_indices(n, rng);
+    const std::size_t skipped_before = stats.skipped_batches;
     double epoch_loss = 0.0;
     std::size_t batches = 0;
     for (std::size_t b = 0; b < n; b += cfg.batch_size) {
@@ -98,14 +179,25 @@ TrainStats fit_autoencoder(Sequential& model, const Tensor& images,
         }
       }
       const Tensor recon = model.forward(x, Mode::Train);
-      epoch_loss += loss.forward(recon, target);
-      ++batches;
+      const float batch_loss = maybe_poison(loss.forward(recon, target));
+      if (!std::isfinite(batch_loss)) {
+        guard.on_divergence("non-finite loss", epoch, b / cfg.batch_size);
+        continue;
+      }
       model.zero_grad();
       model.backward(loss.backward());
+      if (!guard.gradients_finite()) {
+        guard.on_divergence("non-finite gradient", epoch, b / cfg.batch_size);
+        continue;
+      }
       opt.step();
+      epoch_loss += batch_loss;
+      ++batches;
     }
     stats.epoch_losses.push_back(
-        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+        batches ? static_cast<float>(epoch_loss / static_cast<double>(batches))
+                : std::numeric_limits<float>::quiet_NaN());
+    if (stats.skipped_batches == skipped_before) guard.refresh_snapshot();
     if (cfg.verbose) {
       std::printf("  epoch %zu/%zu  recon loss %.5f\n", epoch + 1, cfg.epochs,
                   stats.epoch_losses.back());

@@ -18,7 +18,17 @@ struct TrainConfig {
 };
 
 struct TrainStats {
-  std::vector<float> epoch_losses;  // mean loss per epoch
+  std::vector<float> epoch_losses;  // mean loss per epoch (finite batches)
+
+  // Divergence-guard accounting. Both fit loops validate every batch: a
+  // non-finite loss or gradient skips the optimizer step, halves the
+  // learning rate, and rolls the model back to the last-good weights
+  // snapshot (refreshed after each clean epoch), so one poisoned batch
+  // (hardware fault, fault injection, exploding loss) cannot destroy an
+  // hours-long run.
+  std::size_t skipped_batches = 0;    // batches dropped for non-finite values
+  std::size_t lr_backoffs = 0;        // times the learning rate was halved
+  std::size_t snapshot_restores = 0;  // rollbacks to last-good weights
 };
 
 /// Trains a classifier (logit outputs) with softmax cross-entropy.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <utility>
 
 #include "obs/metrics.hpp"
 
@@ -87,7 +88,11 @@ void ThreadPool::parallel_for_indexed(
     tasks.add(dispatched + 1);  // workers + the caller's own chunk
   }
 
-  fn(0, begin, std::min(end, begin + chunk));
+  try {
+    fn(0, begin, std::min(end, begin + chunk));
+  } catch (...) {
+    record_exception(std::current_exception());
+  }
 
   std::unique_lock lock(mutex_);
   if (observe && pending_ != 0) {
@@ -99,6 +104,14 @@ void ThreadPool::parallel_for_indexed(
   } else {
     cv_done_.wait(lock, [this] { return pending_ == 0; });
   }
+  const std::exception_ptr exc = std::exchange(first_exception_, nullptr);
+  lock.unlock();
+  if (exc) std::rethrow_exception(exc);
+}
+
+void ThreadPool::record_exception(std::exception_ptr e) {
+  std::lock_guard lock(mutex_);
+  if (!first_exception_) first_exception_ = std::move(e);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -124,8 +137,14 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
             static_cast<std::uint64_t>(
                 std::max<std::int64_t>(0, steady_now_ns() - task.dispatch_ns)));
       }
-      (*task.fn)(task.chunk, task.begin, task.end);
+      std::exception_ptr exc;
+      try {
+        (*task.fn)(task.chunk, task.begin, task.end);
+      } catch (...) {
+        exc = std::current_exception();
+      }
       std::lock_guard lock(mutex_);
+      if (exc && !first_exception_) first_exception_ = std::move(exc);
       if (--pending_ == 0) cv_done_.notify_all();
     }
   }

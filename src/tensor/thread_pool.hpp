@@ -4,11 +4,17 @@
 // per worker, so the mapping from index to thread is a pure function of
 // (range, thread count) — results of per-chunk reductions can be combined
 // in a fixed order, keeping multi-threaded runs bit-identical.
+//
+// Exception safety: a task that throws no longer terminates the process.
+// The first exception (from any chunk, including the caller's own) is
+// captured, the remaining chunks drain normally, and parallel_for rethrows
+// it on the calling thread; the pool stays usable afterwards.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,7 +36,8 @@ class ThreadPool {
   /// Runs `fn(chunk_begin, chunk_end)` over a static partition of
   /// [begin, end). Blocks until all chunks finish. The calling thread
   /// executes one chunk itself. `fn` must not call parallel_for on the
-  /// same pool (no nesting).
+  /// same pool (no nesting). If any chunk throws, the first exception is
+  /// rethrown here after every other chunk has drained.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -72,6 +79,7 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t worker_index);
+  void record_exception(std::exception_ptr e);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -82,6 +90,9 @@ class ThreadPool {
   std::uint64_t generation_ = 0;   // bumped per parallel_for call
   std::size_t pending_ = 0;
   bool shutdown_ = false;
+  // First exception thrown by any chunk of the in-flight parallel_for;
+  // cleared (and rethrown) by the caller once all chunks drain.
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace adv

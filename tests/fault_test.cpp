@@ -1,0 +1,228 @@
+// adv::fault tests: failpoint spec parsing and trigger semantics, plus the
+// ModelZoo self-healing cache end to end (quarantine + rebuild of corrupt
+// artifacts). tools/ci.sh re-runs everything labeled `fault` with
+// ADV_FAULT armed in the environment.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/model_zoo.hpp"
+#include "fault/failpoint.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/serialize.hpp"
+
+namespace adv {
+namespace {
+
+// First in the file so a manual whole-binary run exercises it before any
+// reset() clears the env-armed state; under ctest each test is its own
+// process, so order does not matter there.
+TEST(FailpointEnv, AdvFaultEnvVarArmsSites) {
+  const char* env = std::getenv("ADV_FAULT");
+  if (!env || !*env) GTEST_SKIP() << "ADV_FAULT not set";
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_FALSE(fault::armed_sites().empty());
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+TEST_F(FailpointTest, DisarmedCheckIsNone) {
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_EQ(fault::check("serialize.write"), fault::Action::None);
+  EXPECT_EQ(fault::hit_count("serialize.write"), 0u);
+}
+
+TEST_F(FailpointTest, PlainActionTriggersEveryHit) {
+  fault::arm("a.b:bitflip");
+  EXPECT_TRUE(fault::enabled());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fault::check("a.b"), fault::Action::BitFlip);
+  }
+  EXPECT_EQ(fault::hit_count("a.b"), 3u);
+  EXPECT_EQ(fault::check("other.site"), fault::Action::None);
+}
+
+TEST_F(FailpointTest, OnceTriggersExactlyOnce) {
+  fault::arm("t.loss:nan_once");
+  EXPECT_EQ(fault::check("t.loss"), fault::Action::Nan);
+  EXPECT_EQ(fault::check("t.loss"), fault::Action::None);
+  EXPECT_EQ(fault::check("t.loss"), fault::Action::None);
+  EXPECT_EQ(fault::hit_count("t.loss"), 3u);  // counter advances regardless
+}
+
+TEST_F(FailpointTest, AfterSkipsInitialHits) {
+  fault::arm("s.w:fail_after=2");
+  EXPECT_EQ(fault::check("s.w"), fault::Action::None);
+  EXPECT_EQ(fault::check("s.w"), fault::Action::None);
+  EXPECT_EQ(fault::check("s.w"), fault::Action::Fail);
+  EXPECT_EQ(fault::check("s.w"), fault::Action::Fail);  // and every later hit
+}
+
+TEST_F(FailpointTest, OnceAfterCombinesBothModifiers) {
+  fault::arm("x.y:short_write_once_after=1");
+  EXPECT_EQ(fault::check("x.y"), fault::Action::None);
+  EXPECT_EQ(fault::check("x.y"), fault::Action::ShortWrite);
+  EXPECT_EQ(fault::check("x.y"), fault::Action::None);
+}
+
+TEST_F(FailpointTest, MultiSpecArmsAllSites) {
+  fault::arm("serialize.write:fail_after=2,trainer.loss:nan_once");
+  const auto sites = fault::armed_sites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], "serialize.write");
+  EXPECT_EQ(sites[1], "trainer.loss");
+}
+
+TEST_F(FailpointTest, RearmingReplacesAndResetClears) {
+  fault::arm("a.b:fail_once");
+  EXPECT_EQ(fault::check("a.b"), fault::Action::Fail);
+  fault::arm("a.b:fail_once");  // re-arm: hit counter starts over
+  EXPECT_EQ(fault::check("a.b"), fault::Action::Fail);
+  fault::reset();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_EQ(fault::check("a.b"), fault::Action::None);
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrow) {
+  EXPECT_THROW(fault::arm("nocolon"), std::invalid_argument);
+  EXPECT_THROW(fault::arm(":fail"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("site:explode"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("site:fail_after="), std::invalid_argument);
+  EXPECT_THROW(fault::arm("site:fail_often"), std::invalid_argument);
+}
+
+// --- ModelZoo self-healing cache ---------------------------------------
+
+std::uint64_t quarantined_count() {
+  return obs::MetricsRegistry::global()
+      .counter("fault/cache_quarantined")
+      .value();
+}
+
+std::uint64_t rebuilt_count() {
+  return obs::MetricsRegistry::global().counter("fault/cache_rebuilt").value();
+}
+
+class SelfHealingZooTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::reset();
+    cfg_.train_count = 256;
+    cfg_.val_count = 32;
+    cfg_.test_count = 64;
+    cfg_.classifier_epochs = 4;
+    cfg_.ae_epochs = 1;
+    cfg_.batch_size = 32;
+    cfg_.attack_count = 4;
+    cfg_.attack_iterations = 2;
+    cfg_.binary_search_steps = 1;
+    cfg_.cache_dir = std::filesystem::temp_directory_path() /
+                     "adv_self_healing_zoo_test";
+    std::filesystem::remove_all(cfg_.cache_dir);
+  }
+  void TearDown() override {
+    fault::reset();
+    std::filesystem::remove_all(cfg_.cache_dir);
+  }
+
+  std::filesystem::path classifier_path() const {
+    return cfg_.cache_dir /
+           ("classifier_mnist_" + cfg_.cache_tag() + ".bin");
+  }
+
+  static void flip_middle_byte(const std::filesystem::path& p) {
+    std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+    const auto mid =
+        static_cast<std::streamoff>(std::filesystem::file_size(p) / 2);
+    f.seekg(mid);
+    char b = 0;
+    f.get(b);
+    f.seekp(mid);
+    f.put(static_cast<char>(b ^ 0x10));
+  }
+
+  core::ScaleConfig cfg_;
+};
+
+TEST_F(SelfHealingZooTest, BitFlippedClassifierIsQuarantinedAndRebuilt) {
+  {
+    core::ModelZoo zoo(cfg_);
+    zoo.classifier(core::DatasetId::Mnist);  // trains and caches
+  }
+  ASSERT_TRUE(std::filesystem::exists(classifier_path()));
+  flip_middle_byte(classifier_path());
+
+  const std::uint64_t q0 = quarantined_count();
+  const std::uint64_t r0 = rebuilt_count();
+  core::ModelZoo zoo(cfg_);
+  auto model = zoo.classifier(core::DatasetId::Mnist);  // must not throw
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(quarantined_count(), q0 + 1);
+  EXPECT_EQ(rebuilt_count(), r0 + 1);
+  // The bad bytes moved aside, a fresh valid artifact took their place.
+  std::filesystem::path corrupt = classifier_path();
+  corrupt += ".corrupt";
+  EXPECT_TRUE(std::filesystem::exists(corrupt));
+  EXPECT_NO_THROW(load_tensors(classifier_path()));
+}
+
+TEST_F(SelfHealingZooTest, TruncatedClassifierIsQuarantinedAndRebuilt) {
+  {
+    core::ModelZoo zoo(cfg_);
+    zoo.classifier(core::DatasetId::Mnist);
+  }
+  const auto path = classifier_path();
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 3);
+
+  const std::uint64_t q0 = quarantined_count();
+  core::ModelZoo zoo(cfg_);
+  EXPECT_NO_THROW(zoo.classifier(core::DatasetId::Mnist));
+  EXPECT_EQ(quarantined_count(), q0 + 1);
+  EXPECT_NO_THROW(load_tensors(path));
+}
+
+TEST_F(SelfHealingZooTest, CorruptAttackCacheIsQuarantinedAndRecrafted) {
+  auto attack_files = [this] {
+    std::vector<std::filesystem::path> out;
+    for (const auto& e : std::filesystem::directory_iterator(cfg_.cache_dir)) {
+      if (e.path().filename().string().rfind("atk_", 0) == 0 &&
+          e.path().extension() == ".bin") {
+        out.push_back(e.path());
+      }
+    }
+    return out;
+  };
+  {
+    core::ModelZoo zoo(cfg_);
+    zoo.fgsm(core::DatasetId::Mnist, 0.1f, 1);
+  }
+  const auto files = attack_files();
+  ASSERT_EQ(files.size(), 1u);
+  flip_middle_byte(files[0]);
+
+  const std::uint64_t q0 = quarantined_count();
+  const std::uint64_t r0 = rebuilt_count();
+  core::ModelZoo zoo(cfg_);
+  const attacks::AttackResult r = zoo.fgsm(core::DatasetId::Mnist, 0.1f, 1);
+  EXPECT_EQ(r.success.size(), 4u);
+  EXPECT_EQ(quarantined_count(), q0 + 1);
+  EXPECT_EQ(rebuilt_count(), r0 + 1);
+  EXPECT_NO_THROW(load_tensors(files[0]));  // rebuilt with valid CRCs
+}
+
+TEST_F(SelfHealingZooTest, DifferentScaleFieldsGetDifferentCacheKeys) {
+  core::ScaleConfig other = cfg_;
+  other.train_count += 1;
+  EXPECT_NE(cfg_.cache_tag(), other.cache_tag());
+  EXPECT_EQ(cfg_.cache_tag(), core::ScaleConfig(cfg_).cache_tag());
+}
+
+}  // namespace
+}  // namespace adv

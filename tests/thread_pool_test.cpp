@@ -97,6 +97,84 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_GE(ThreadPool::global().thread_count(), 1u);
 }
 
+TEST(ThreadPool, ExceptionFromWorkerTaskPropagatesToCaller) {
+  ThreadPool pool(4);
+  // With 4 threads over [0,1000), index 900 lands in the last chunk,
+  // which a worker (not the caller) executes.
+  auto boom = [](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (i == 900) throw std::runtime_error("boom at 900");
+    }
+  };
+  try {
+    pool.parallel_for(0, 1000, boom);
+    FAIL() << "expected exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 900");  // message preserved
+  }
+}
+
+TEST(ThreadPool, ExceptionFromCallerChunkDrainsWorkers) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> done{0};
+  auto fn = [&](std::size_t b, std::size_t e) {
+    if (b == 0) throw std::runtime_error("caller chunk");
+    for (std::size_t i = b; i < e; ++i) done.fetch_add(1);
+  };
+  EXPECT_THROW(pool.parallel_for(0, 1000, fn), std::runtime_error);
+  // The caller's chunk covers [0,250); all other chunks must have run.
+  EXPECT_EQ(done.load(), 750u);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(0, 100,
+                          [](std::size_t, std::size_t) {
+                            throw std::runtime_error("each round");
+                          }),
+        std::runtime_error);
+    // A clean call right after must cover the range exactly and not see a
+    // stale exception.
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallel_for(0, 64, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ConcurrentThrowsDeliverExactlyOne) {
+  ThreadPool pool(8);
+  // Every chunk throws; exactly one exception must surface, the rest are
+  // swallowed after all chunks drain (no deadlock, no terminate).
+  std::atomic<int> started{0};
+  try {
+    pool.parallel_for(0, 8, [&](std::size_t b, std::size_t) {
+      started.fetch_add(1);
+      throw std::runtime_error("chunk " + std::to_string(b));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(started.load(), 8);
+}
+
+TEST(ThreadPool, SingleThreadPoolPropagatesToo) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::logic_error("serial");
+                                 }),
+               std::logic_error);
+  std::size_t total = 0;
+  pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) total += i;
+  });
+  EXPECT_EQ(total, 45u);
+}
+
 TEST(ThreadPool, ParallelReductionPerChunkIsExact) {
   ThreadPool pool(4);
   std::vector<double> partial(pool.max_chunks(), 0.0);

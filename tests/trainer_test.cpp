@@ -1,8 +1,12 @@
 // Training-loop tests: losses decrease, classifiers learn, inference
-// helpers batch correctly.
+// helpers batch correctly, and the divergence guard survives injected
+// NaN losses (skip-batch + LR backoff + last-good-weights restore).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "data/syn_digits.hpp"
+#include "fault/failpoint.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
@@ -81,6 +85,103 @@ TEST(FitClassifier, DeterministicGivenSeed) {
   const Tensor a = train_once();
   const Tensor b = train_once();
   for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+bool all_parameters_finite(Sequential& m) {
+  for (Tensor* p : m.parameters()) {
+    for (float v : p->values()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(FitClassifier, CleanRunReportsNoDivergence) {
+  fault::reset();
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(x, y, 100, 31);
+  Rng rng(32);
+  Sequential m = mlp(rng);
+  Adam opt(m.parameters(), m.gradients(), 1e-2f);
+  TrainConfig tc;
+  tc.epochs = 3;
+  const TrainStats stats = fit_classifier(m, x, y, opt, tc);
+  EXPECT_EQ(stats.skipped_batches, 0u);
+  EXPECT_EQ(stats.lr_backoffs, 0u);
+  EXPECT_EQ(stats.snapshot_restores, 0u);
+}
+
+TEST(FitClassifier, InjectedNanLossSkipsBatchAndBacksOff) {
+  fault::reset();
+  fault::arm("trainer.loss:nan_once");
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(x, y, 200, 33);
+  Rng rng(34);
+  Sequential m = mlp(rng);
+  Adam opt(m.parameters(), m.gradients(), 1e-2f);
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 16;
+  const TrainStats stats = fit_classifier(m, x, y, opt, tc);
+  fault::reset();
+  // Exactly the one poisoned batch was dropped, with one backoff+restore.
+  EXPECT_EQ(stats.skipped_batches, 1u);
+  EXPECT_EQ(stats.lr_backoffs, 1u);
+  EXPECT_EQ(stats.snapshot_restores, 1u);
+  EXPECT_FLOAT_EQ(opt.lr(), 5e-3f);
+  // The run still converges on finite weights despite the fault.
+  EXPECT_TRUE(all_parameters_finite(m));
+  EXPECT_TRUE(std::isfinite(stats.epoch_losses.back()));
+  EXPECT_GT(classification_accuracy(m, x, y), 0.9f);
+}
+
+TEST(FitClassifier, PersistentNanLossNeverPoisonsWeights) {
+  fault::reset();
+  fault::arm("trainer.loss:nan");  // every batch poisoned
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(x, y, 64, 35);
+  Rng rng(36);
+  Sequential m = mlp(rng);
+  Adam opt(m.parameters(), m.gradients(), 1e-2f);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  const TrainStats stats = fit_classifier(m, x, y, opt, tc);
+  fault::reset();
+  EXPECT_EQ(stats.skipped_batches, 8u);  // 4 batches x 2 epochs, all dropped
+  EXPECT_EQ(stats.lr_backoffs, 8u);
+  EXPECT_TRUE(all_parameters_finite(m));  // no step ever ran on bad data
+}
+
+TEST(FitAutoencoder, InjectedNanLossSkipsAndRecovers) {
+  fault::reset();
+  fault::arm("trainer.loss:nan_once");
+  data::SynDigitsConfig dc;
+  dc.count = 96;
+  dc.height = 16;
+  dc.width = 16;
+  const data::Dataset ds = data::make_syn_digits(dc);
+  Rng rng(37);
+  Sequential ae;
+  ae.emplace<Conv2d>(Conv2d::same(1, 4), rng);
+  ae.emplace<Sigmoid>();
+  ae.emplace<Conv2d>(Conv2d::same(4, 1), rng);
+  ae.emplace<Sigmoid>();
+  Adam opt(ae.parameters(), ae.gradients(), 3e-3f);
+  MseLoss loss;
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 32;
+  const TrainStats stats =
+      fit_autoencoder(ae, ds.images, loss, /*noise_std=*/0.05f, opt, tc);
+  fault::reset();
+  EXPECT_EQ(stats.skipped_batches, 1u);
+  EXPECT_EQ(stats.lr_backoffs, 1u);
+  EXPECT_TRUE(all_parameters_finite(ae));
+  EXPECT_TRUE(std::isfinite(stats.epoch_losses.back()));
 }
 
 TEST(FitAutoencoder, ReconstructionLossDecreases) {

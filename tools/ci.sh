@@ -23,6 +23,15 @@ cmake --build "$build_dir" -j"$jobs"
 echo "== ctest =="
 ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
 
+echo "== fault injection (ADV_FAULT, label: fault) =="
+# Re-run the recovery-path tests with ADV_FAULT set in the environment.
+# The site is benign (nothing in the tests hits `ci.smoke`) — the point is
+# proving the env plumbing arms the registry (FailpointEnv no longer
+# skips) while every armed-by-test recovery scenario still passes with the
+# global failpoint state active.
+ADV_FAULT='ci.smoke:fail_once' \
+  ctest --test-dir "$build_dir" -L fault --output-on-failure -j"$jobs"
+
 echo "== micro benchmarks (metrics emission) =="
 # A filtered run keeps CI fast; the driver still writes BENCH_gemm.json
 # and, with instrumentation on, BENCH_layers.json on exit.
