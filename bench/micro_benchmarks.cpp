@@ -237,6 +237,101 @@ void write_gemm_json(const char* path) {
   std::printf("wrote %s\n", path);
 }
 
+/// End-to-end active-set engine A/B: one full EAD run (kappa = 15, the
+/// paper's high-confidence setting) over a synthetic MNIST-like batch,
+/// with row compaction + workspace reuse ON vs OFF. Early abort is enabled
+/// in BOTH arms, so the optimization schedule is identical and the ratio
+/// isolates the engine: compacted model passes and recycled activations.
+/// Writes images/sec per arm, the speedup, and passes_saved to
+/// BENCH_attack_engine.json; tools/ci.sh gates on speedup >= 2.
+void write_attack_engine_json(const char* path) {
+  constexpr std::size_t kImages = 32;
+  Rng rng(9);
+  Tensor x({kImages, 1, 28, 28});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+
+  // Easy rows plateau and retire early; hard rows run to the iteration
+  // cap — the spread is what compaction converts into wall-clock.
+  attacks::EadConfig cfg;
+  cfg.beta = 1e-2f;
+  cfg.kappa = 15.0f;
+  cfg.iterations = 100;
+  cfg.binary_search_steps = 3;
+  cfg.initial_c = 1.0f;
+  cfg.learning_rate = 0.2f;
+  cfg.use_fista = true;
+  cfg.abort_early_window = 10;
+  cfg.abort_early_rel_tol = 1e-3f;
+
+  // Both arms attack identically-seeded models on identical labels
+  // (argmax of the clean batch), so the work differs only in engine mode.
+  auto run_arm = [&](bool engine_on) {
+    Rng mrng(10);
+    nn::Sequential m = small_classifier(mrng);
+    // Scale the head so kappa = 15 is reachable: rows then succeed and
+    // plateau at different iterations, which is what compaction exploits.
+    scale_inplace(*m.parameters()[2], 6.0f);
+    m.set_workspace_enabled(engine_on);
+    cfg.compact = engine_on;
+    const Tensor logits = m.forward(x, nn::Mode::Infer);
+    std::vector<int> labels(kImages);
+    for (std::size_t i = 0; i < kImages; ++i) {
+      labels[i] = static_cast<int>(argmax_row(logits, i));
+    }
+    attacks::ead_attack(m, x, labels, cfg);  // warmup (pool + pages)
+    const auto t0 = std::chrono::steady_clock::now();
+    const attacks::AttackResult r = attacks::ead_attack(m, x, labels, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(r.adversarial.data());
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  std::uint64_t passes_saved = 0;
+  const std::uint64_t saved0 =
+      obs::enabled()
+          ? obs::MetricsRegistry::global().counter("attack/ead/passes_saved")
+                .value()
+          : 0;
+  const double t_on = run_arm(true);
+  if (obs::enabled()) {
+    // Delta over the timed arm (plus its warmup; per-run savings are half).
+    passes_saved =
+        (obs::MetricsRegistry::global().counter("attack/ead/passes_saved")
+             .value() -
+         saved0) /
+        2;
+  }
+  const double t_off = run_arm(false);
+
+  const double ips_on = static_cast<double>(kImages) / t_on;
+  const double ips_off = static_cast<double>(kImages) / t_off;
+  const double speedup = t_off / t_on;
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "micro_benchmarks: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"attack\": \"ead\",\n  \"kappa\": %.0f,\n"
+               "  \"images\": %zu,\n  \"threads\": %zu,\n"
+               "  \"images_per_sec_engine_on\": %.3f,\n"
+               "  \"images_per_sec_engine_off\": %.3f,\n"
+               "  \"passes_saved\": %llu,\n"
+               "  \"speedup\": %.2f\n}\n",
+               static_cast<double>(cfg.kappa), kImages,
+               ThreadPool::global().thread_count(), ips_on, ips_off,
+               static_cast<unsigned long long>(passes_saved), speedup);
+  std::fclose(f);
+  std::printf(
+      "BENCH_attack_engine ead k=%.0f  on: %.2f img/s  off: %.2f img/s  "
+      "saved %llu passes  speedup %.2fx\n",
+      static_cast<double>(cfg.kappa), ips_on, ips_off,
+      static_cast<unsigned long long>(passes_saved), speedup);
+  std::printf("wrote %s\n", path);
+}
+
 /// Drives a few instrumented forward/backward passes of the small
 /// classifier so BENCH_layers.json carries per-layer timings even when the
 /// benchmark filter skips the model-level cases. No-op when adv::obs is
@@ -271,6 +366,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_gemm_json("BENCH_gemm.json");
+  write_attack_engine_json("BENCH_attack_engine.json");
   emit_layer_metrics("BENCH_layers.json");
   return 0;
 }

@@ -13,6 +13,15 @@ std::string fmt(float v) {
   return buf;
 }
 
+// Early-abort tag suffix. Aborting changes which iterates are visited, so
+// the knobs must be part of the cache identity; row compaction is
+// bitwise-neutral and deliberately left out of tags (cached artifacts stay
+// valid when it is toggled).
+std::string abort_suffix(std::size_t window, float rel_tol) {
+  if (window == 0) return "";
+  return "_ae" + std::to_string(window) + "x" + fmt(rel_tol);
+}
+
 }  // namespace
 
 AttackMetricsScope::AttackMetricsScope(std::string name,
@@ -81,7 +90,8 @@ std::string CwL2Attack::name() const { return "cw-l2"; }
 std::string CwL2Attack::tag() const {
   return "cw_k" + fmt(cfg_.kappa) + "_i" + std::to_string(cfg_.iterations) +
          "_s" + std::to_string(cfg_.binary_search_steps) + "_c" +
-         fmt(cfg_.initial_c) + "_lr" + fmt(cfg_.learning_rate);
+         fmt(cfg_.initial_c) + "_lr" + fmt(cfg_.learning_rate) +
+         abort_suffix(cfg_.abort_early_window, cfg_.abort_early_rel_tol);
 }
 
 AttackResult CwL2Attack::run_impl(nn::Sequential& model,
@@ -111,7 +121,8 @@ std::string EadAttack::tag() const {
          "_s" + std::to_string(cfg_.binary_search_steps) + "_c" +
          fmt(cfg_.initial_c) + "_lr" + fmt(cfg_.learning_rate) +
          (cfg_.use_fista ? "_fista" : "") +
-         (cfg_.mode == HingeMode::Targeted ? "_tgt" : "");
+         (cfg_.mode == HingeMode::Targeted ? "_tgt" : "") +
+         abort_suffix(cfg_.abort_early_window, cfg_.abort_early_rel_tol);
 }
 
 AttackResult EadAttack::run_impl(nn::Sequential& model, const Tensor& images,
@@ -124,6 +135,7 @@ AttackRegistry::AttackRegistry() {
     FgsmConfig cfg;
     if (o.epsilon) cfg.epsilon = *o.epsilon;
     if (o.iterations) cfg.iterations = *o.iterations;
+    if (o.compact) cfg.compact = *o.compact;
     return std::make_unique<FgsmAttack>(cfg);
   });
   add("ifgsm", [](const AttackOverrides& o) {
@@ -131,6 +143,7 @@ AttackRegistry::AttackRegistry() {
     cfg.iterations = 10;
     if (o.epsilon) cfg.epsilon = *o.epsilon;
     if (o.iterations) cfg.iterations = *o.iterations;
+    if (o.compact) cfg.compact = *o.compact;
     return std::make_unique<FgsmAttack>(cfg, "ifgsm");
   });
   add("cw-l2", [](const AttackOverrides& o) {
@@ -140,12 +153,16 @@ AttackRegistry::AttackRegistry() {
     if (o.binary_search_steps) cfg.binary_search_steps = *o.binary_search_steps;
     if (o.initial_c) cfg.initial_c = *o.initial_c;
     if (o.learning_rate) cfg.learning_rate = *o.learning_rate;
+    if (o.abort_early_window) cfg.abort_early_window = *o.abort_early_window;
+    if (o.abort_early_rel_tol) cfg.abort_early_rel_tol = *o.abort_early_rel_tol;
+    if (o.compact) cfg.compact = *o.compact;
     return std::make_unique<CwL2Attack>(cfg);
   });
   add("deepfool", [](const AttackOverrides& o) {
     DeepFoolConfig cfg;
     if (o.iterations) cfg.max_iterations = *o.iterations;
     if (o.overshoot) cfg.overshoot = *o.overshoot;
+    if (o.compact) cfg.compact = *o.compact;
     return std::make_unique<DeepFoolAttack>(cfg);
   });
   add("ead", [](const AttackOverrides& o) {
@@ -158,6 +175,9 @@ AttackRegistry::AttackRegistry() {
     if (o.learning_rate) cfg.learning_rate = *o.learning_rate;
     if (o.rule) cfg.rule = *o.rule;
     if (o.mode) cfg.mode = *o.mode;
+    if (o.abort_early_window) cfg.abort_early_window = *o.abort_early_window;
+    if (o.abort_early_rel_tol) cfg.abort_early_rel_tol = *o.abort_early_rel_tol;
+    if (o.compact) cfg.compact = *o.compact;
     return std::make_unique<EadAttack>(cfg);
   });
 }

@@ -38,6 +38,11 @@ struct AttackOverrides {
   std::optional<std::size_t> binary_search_steps;
   std::optional<DecisionRule> rule;
   std::optional<HingeMode> mode;
+  // Active-set engine knobs (attacks/engine.hpp). abort_early_* applies to
+  // ead/cw-l2; compact to every attack.
+  std::optional<std::size_t> abort_early_window;
+  std::optional<float> abort_early_rel_tol;
+  std::optional<bool> compact;
 };
 
 /// RAII metrics recorder for one attack run. When obs::enabled() at

@@ -44,12 +44,12 @@ float AttackResult::mean_l2_over_success() const {
 
 HingeEval eval_attack_hinge(nn::Sequential& model, const Tensor& batch,
                             const std::vector<int>& labels, float kappa,
-                            HingeMode mode) {
+                            HingeMode mode, nn::Mode forward_mode) {
   if (batch.dim(0) != labels.size()) {
     throw std::invalid_argument("eval_attack_hinge: batch/label mismatch");
   }
   HingeEval out;
-  out.logits = model.forward(batch, nn::Mode::Eval);
+  out.logits = model.forward(batch, forward_mode);
   const std::size_t n = out.logits.dim(0), k = out.logits.dim(1);
   out.margin.resize(n);
   out.f.resize(n);
@@ -73,9 +73,10 @@ HingeEval eval_attack_hinge(nn::Sequential& model, const Tensor& batch,
 }
 
 HingeEval eval_untargeted_hinge(nn::Sequential& model, const Tensor& batch,
-                                const std::vector<int>& labels, float kappa) {
+                                const std::vector<int>& labels, float kappa,
+                                nn::Mode forward_mode) {
   return eval_attack_hinge(model, batch, labels, kappa,
-                           HingeMode::Untargeted);
+                           HingeMode::Untargeted, forward_mode);
 }
 
 Tensor attack_hinge_input_gradient(nn::Sequential& model,

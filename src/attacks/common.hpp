@@ -49,13 +49,19 @@ struct HingeEval {
 
 /// Forward pass + hinge statistics. In untargeted mode `labels` are the
 /// ORIGINAL labels t0; in targeted mode they are the TARGET labels t.
+/// `forward_mode` defaults to Eval (differentiable); pass nn::Mode::Infer
+/// for forward-only scoring (candidate/success checks) — it skips the
+/// layers' backward-cache copies, and no attack_hinge_input_gradient call
+/// may follow such an eval.
 HingeEval eval_attack_hinge(nn::Sequential& model, const Tensor& batch,
                             const std::vector<int>& labels, float kappa,
-                            HingeMode mode);
+                            HingeMode mode,
+                            nn::Mode forward_mode = nn::Mode::Eval);
 
 /// Untargeted convenience wrapper (paper eq. (3)).
 HingeEval eval_untargeted_hinge(nn::Sequential& model, const Tensor& batch,
-                                const std::vector<int>& labels, float kappa);
+                                const std::vector<int>& labels, float kappa,
+                                nn::Mode forward_mode = nn::Mode::Eval);
 
 /// Builds the logit-space gradient seed of sum_i weight[i] * f_i and
 /// backpropagates it, returning d/d(batch). Rows whose hinge is inactive

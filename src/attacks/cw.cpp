@@ -14,6 +14,10 @@ AttackResult cw_l2_attack(nn::Sequential& model, const Tensor& images,
   ead.learning_rate = cfg.learning_rate;
   ead.rule = DecisionRule::L2;
   ead.use_fista = false;
+  ead.abort_early_window = cfg.abort_early_window;
+  ead.abort_early_rel_tol = cfg.abort_early_rel_tol;
+  ead.compact = cfg.compact;
+  ead.metrics_name = "cw-l2";
   return ead_attack(model, images, labels, ead);
 }
 

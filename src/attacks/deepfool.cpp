@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "attacks/engine.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace adv::attacks {
@@ -19,83 +20,111 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
   const std::size_t row = images.numel() / n;
 
   Tensor x = images;
-  std::vector<bool> done(n, false);
+  ActiveSet rows(n);
+  EngineStats stats;
 
-  for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
-    const Tensor logits = model.forward(x, nn::Mode::Eval);
+  for (std::size_t iter = 0;
+       iter < cfg.max_iterations && !rows.none_active(); ++iter) {
+    const std::vector<std::size_t>& idx = rows.indices();
+    const std::size_t na = idx.size();
+    const bool sub = cfg.compact && na < n;
+    Tensor x_g;
+    if (sub) x_g = gather_rows(x, idx);
+    const Tensor& xcur = sub ? x_g : x;
+
+    // One caching forward per iteration; the K per-class backwards below
+    // all read the same caches (backward treats them as read-only).
+    const Tensor logits = model.forward(xcur, nn::Mode::Eval);
     const std::size_t k = logits.dim(1);
+    if (sub) stats.record_pass(n, na);
 
+    // Rows fooled by the current iterate get no step and retire after the
+    // update loop.
+    std::vector<std::uint8_t> fooled(na, 0);
     bool any_active = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (done[i]) continue;
-      if (static_cast<int>(argmax_row(logits, i)) != labels[i]) {
-        done[i] = true;  // already fooled
+    for (std::size_t a = 0; a < na; ++a) {
+      const std::size_t g = idx[a];
+      const std::size_t loc = sub ? a : g;
+      if (static_cast<int>(argmax_row(logits, loc)) != labels[g]) {
+        fooled[a] = 1;
       } else {
         any_active = true;
       }
     }
-    if (!any_active) break;
 
-    // Per-class input gradients for the whole batch: K backward passes,
-    // each seeded with one-hot class j. grads[j] has the shape of x.
-    std::vector<Tensor> grads(k);
-    for (std::size_t j = 0; j < k; ++j) {
-      // Re-run forward so layer caches match this backward (backward
-      // consumes caches; grads of a fixed logits layer are independent of
-      // the seed so one forward per backward keeps the contract simple).
-      model.forward(x, nn::Mode::Eval);
-      Tensor seed({n, k});
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!done[i]) seed[i * k + j] = 1.0f;
-      }
-      grads[j] = model.backward(seed);
-    }
-
-    // Standard DeepFool step toward the nearest decision boundary.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (done[i]) continue;
-      const auto t0 = static_cast<std::size_t>(labels[i]);
-      const float* z = logits.data() + i * k;
-      float best_ratio = std::numeric_limits<float>::infinity();
-      std::size_t best_j = k;  // sentinel
-      float best_fj = 0.0f;
-      double best_wnorm2 = 0.0;
+    if (any_active) {
+      // Per-class input gradients for the (sub-)batch: K backward passes
+      // seeded one-hot, all from the single forward above.
+      std::vector<Tensor> grads(k);
       for (std::size_t j = 0; j < k; ++j) {
-        if (j == t0) continue;
-        const float fj = z[j] - z[t0];
-        double wnorm2 = 0.0;
-        const float* gj = grads[j].data() + i * row;
-        const float* gt = grads[t0].data() + i * row;
-        for (std::size_t d = 0; d < row; ++d) {
-          const double w = static_cast<double>(gj[d]) - gt[d];
-          wnorm2 += w * w;
+        Tensor seed({sub ? na : n, k});
+        for (std::size_t a = 0; a < na; ++a) {
+          if (!fooled[a]) seed[(sub ? a : idx[a]) * k + j] = 1.0f;
         }
-        if (wnorm2 < 1e-20) continue;
-        const float ratio =
-            std::fabs(fj) / static_cast<float>(std::sqrt(wnorm2));
-        if (ratio < best_ratio) {
-          best_ratio = ratio;
-          best_j = j;
-          best_fj = fj;
-          best_wnorm2 = wnorm2;
-        }
+        grads[j] = model.backward(seed);
+        if (sub) stats.record_pass(n, na);
       }
-      if (best_j == k) continue;  // degenerate gradients; skip this sample
-      const float scale = (1.0f + cfg.overshoot) * std::fabs(best_fj) /
-                          static_cast<float>(best_wnorm2);
-      float* px = x.data() + i * row;
-      const float* gj = grads[best_j].data() + i * row;
-      const float* gt = grads[t0].data() + i * row;
-      for (std::size_t d = 0; d < row; ++d) {
-        px[d] = std::clamp(px[d] + scale * (gj[d] - gt[d]), 0.0f, 1.0f);
+
+      // Standard DeepFool step toward the nearest decision boundary.
+      for (std::size_t a = 0; a < na; ++a) {
+        if (fooled[a]) continue;
+        const std::size_t g = idx[a];
+        const std::size_t loc = sub ? a : g;
+        const auto t0 = static_cast<std::size_t>(labels[g]);
+        const float* z = logits.data() + loc * k;
+        float best_ratio = std::numeric_limits<float>::infinity();
+        std::size_t best_j = k;  // sentinel
+        float best_fj = 0.0f;
+        double best_wnorm2 = 0.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (j == t0) continue;
+          const float fj = z[j] - z[t0];
+          double wnorm2 = 0.0;
+          const float* gj = grads[j].data() + loc * row;
+          const float* gt = grads[t0].data() + loc * row;
+          for (std::size_t d = 0; d < row; ++d) {
+            const double w = static_cast<double>(gj[d]) - gt[d];
+            wnorm2 += w * w;
+          }
+          if (wnorm2 < 1e-20) continue;
+          const float ratio =
+              std::fabs(fj) / static_cast<float>(std::sqrt(wnorm2));
+          if (ratio < best_ratio) {
+            best_ratio = ratio;
+            best_j = j;
+            best_fj = fj;
+            best_wnorm2 = wnorm2;
+          }
+        }
+        if (best_j == k) continue;  // degenerate gradients; skip this sample
+        const float scale = (1.0f + cfg.overshoot) * std::fabs(best_fj) /
+                            static_cast<float>(best_wnorm2);
+        float* px = x.data() + g * row;
+        const float* gj = grads[best_j].data() + loc * row;
+        const float* gt = grads[t0].data() + loc * row;
+        for (std::size_t d = 0; d < row; ++d) {
+          px[d] = std::clamp(px[d] + scale * (gj[d] - gt[d]), 0.0f, 1.0f);
+        }
       }
     }
+
+    // Collect first: retire() mutates the indices() vector `idx` aliases.
+    std::vector<std::size_t> to_retire;
+    for (std::size_t a = 0; a < na; ++a) {
+      if (fooled[a]) to_retire.push_back(idx[a]);
+    }
+    for (const std::size_t g : to_retire) {
+      rows.retire(g);
+      ++stats.rows_retired;
+    }
+    if (!any_active) break;
   }
+  stats.flush("deepfool");
 
   AttackResult result;
   result.adversarial = x;
   result.success.assign(n, false);
-  const Tensor logits = model.forward(x, nn::Mode::Eval);
+  const Tensor logits = model.forward(x, nn::Mode::Infer);
   for (std::size_t i = 0; i < n; ++i) {
     result.success[i] = static_cast<int>(argmax_row(logits, i)) != labels[i];
     if (!result.success[i]) {

@@ -10,6 +10,10 @@ namespace adv::attacks {
 struct DeepFoolConfig {
   std::size_t max_iterations = 30;
   float overshoot = 0.02f;  // eta: multiplicative overshoot per step
+  // Row compaction for the active-set engine (see attacks/engine.hpp):
+  // already-fooled rows are dropped from the per-iteration forward and the
+  // K per-class backwards. Output-identical on or off.
+  bool compact = true;
 };
 
 AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,

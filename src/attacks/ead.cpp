@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "attacks/engine.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace adv::attacks {
@@ -58,6 +59,19 @@ float rule_distance(DecisionRule rule, float beta, const float* adv,
   return 0.0f;
 }
 
+/// Elastic-net distance ||a-n||_2^2 + beta*||a-n||_1 of one row (the
+/// distortion part of the early-abort objective).
+float elastic_distance(float beta, const float* adv, const float* nat,
+                       std::size_t row) {
+  double acc1 = 0.0, acc2 = 0.0;
+  for (std::size_t j = 0; j < row; ++j) {
+    const double d = static_cast<double>(adv[j]) - nat[j];
+    acc1 += std::fabs(d);
+    acc2 += d * d;
+  }
+  return static_cast<float>(acc2 + beta * acc1);
+}
+
 }  // namespace
 
 std::vector<AttackResult> ead_attack_multi(
@@ -89,71 +103,145 @@ std::vector<AttackResult> ead_attack_multi(
   std::vector<float> c(n, cfg.initial_c);
   std::vector<float> lower(n, 0.0f);
   std::vector<float> upper(n, 1e10f);
+  EngineStats stats;
 
   for (std::size_t bs = 0; bs < cfg.binary_search_steps; ++bs) {
     Tensor x = images;  // current iterate x^(k)
     Tensor y = images;  // FISTA auxiliary point (== x^(k) for plain ISTA)
     std::vector<bool> succeeded_this_step(n, false);
+    ActiveSet rows(n);
+    PlateauDetector plateau(n, cfg.abort_early_window,
+                            cfg.abort_early_rel_tol);
+    std::vector<std::size_t> to_retire;
+    // Dense-mode weight vector: retired rows get weight 0 so their logit
+    // seed is zero (their gradient rows are then exactly zero, and the
+    // per-row independence of every layer keeps the active rows' gradients
+    // bitwise equal to the compacted sub-batch pass).
+    std::vector<float> w_dense;
 
-    for (std::size_t k = 0; k < cfg.iterations; ++k) {
+    for (std::size_t k = 0;
+         k < cfg.iterations && !rows.none_active(); ++k) {
       // Square-root polynomial decay of the step size (reference EAD).
       const float lr = cfg.learning_rate *
                        std::sqrt(1.0f - static_cast<float>(k) /
                                             static_cast<float>(cfg.iterations));
 
+      const std::vector<std::size_t>& idx = rows.indices();
+      const std::size_t na = idx.size();
+      // Compacted sub-batch: gather the active rows densely so the model
+      // passes below are [na, ...] instead of [n, ...].
+      const bool sub = cfg.compact && na < n;
+      Tensor y_g, x0_g;
+      std::vector<int> lab_g;
+      std::vector<float> w_g;
+      if (sub) {
+        y_g = gather_rows(y, idx);
+        x0_g = gather_rows(images, idx);
+        lab_g = gather(labels, idx);
+        w_g = gather(c, idx);
+      } else {
+        w_dense = c;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!rows.active(i)) w_dense[i] = 0.0f;
+        }
+      }
+      const Tensor& ycur = sub ? y_g : y;
+      const Tensor& x0 = sub ? x0_g : images;
+      const std::vector<int>& lab = sub ? lab_g : labels;
+      const std::vector<float>& w = sub ? w_g : w_dense;
+
       // Gradient of g(y) = c*f(y) + ||y - x0||_2^2 at the (FISTA) point y.
       HingeEval eval =
-          eval_attack_hinge(model, y, labels, cfg.kappa, cfg.mode);
-      Tensor grad = attack_hinge_input_gradient(model, eval, labels,
-                                                cfg.kappa, c, cfg.mode);
+          eval_attack_hinge(model, ycur, lab, cfg.kappa, cfg.mode);
+      Tensor grad = attack_hinge_input_gradient(model, eval, lab,
+                                                cfg.kappa, w, cfg.mode);
+      if (sub) {
+        stats.record_pass(n, na);  // forward
+        stats.record_pass(n, na);  // backward
+      }
       {
         float* g = grad.data();
-        const float* py = y.data();
-        const float* p0 = images.data();
+        const float* py = ycur.data();
+        const float* p0 = x0.data();
         for (std::size_t i = 0, m = grad.numel(); i < m; ++i) {
           g[i] += 2.0f * (py[i] - p0[i]);
         }
       }
 
       // ISTA step: x^(k+1) = S_beta(y - lr * grad) (paper eq. (4)).
-      Tensor z = y;
+      Tensor z = ycur;
       axpy_inplace(z, -lr, grad);
       Tensor x_new;
-      shrink_project(z, images, cfg.beta, x_new);
+      shrink_project(z, x0, cfg.beta, x_new);
+      if (!sub && na < n) {
+        // Freeze retired rows: their iterate must not move, so the
+        // full-batch x_new gets their frozen x rows back before the
+        // candidate eval and the y/x updates below.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (rows.active(i)) continue;
+          std::copy_n(x.data() + i * row, row, x_new.data() + i * row);
+        }
+      }
 
       // Candidate bookkeeping on the new iterate under every rule.
-      HingeEval cand =
-          eval_attack_hinge(model, x_new, labels, cfg.kappa, cfg.mode);
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!attack_succeeded(cand.margin[i], cfg.kappa)) continue;
-        succeeded_this_step[i] = true;
-        for (std::size_t r = 0; r < nrules; ++r) {
-          const float dist =
-              rule_distance(rules[r], cfg.beta, x_new.data() + i * row,
-                            images.data() + i * row, row);
-          if (dist < best_dist[r][i]) {
-            best_dist[r][i] = dist;
-            results[r].success[i] = true;
-            std::copy_n(x_new.data() + i * row, row,
-                        results[r].adversarial.data() + i * row);
+      // Forward-only: Mode::Infer skips the backward-cache copies.
+      HingeEval cand = eval_attack_hinge(model, x_new, lab, cfg.kappa,
+                                         cfg.mode, nn::Mode::Infer);
+      if (sub) stats.record_pass(n, na);
+      to_retire.clear();
+      for (std::size_t a = 0; a < na; ++a) {
+        const std::size_t g = idx[a];        // global batch row
+        const std::size_t loc = sub ? a : g; // row within the sub-batch
+        const float* adv = x_new.data() + loc * row;
+        const float* nat = images.data() + g * row;
+        if (attack_succeeded(cand.margin[loc], cfg.kappa)) {
+          succeeded_this_step[g] = true;
+          for (std::size_t r = 0; r < nrules; ++r) {
+            const float dist = rule_distance(rules[r], cfg.beta, adv, nat,
+                                             row);
+            if (dist < best_dist[r][g]) {
+              best_dist[r][g] = dist;
+              results[r].success[g] = true;
+              std::copy_n(adv, row,
+                          results[r].adversarial.data() + g * row);
+            }
           }
+        }
+        if (plateau.enabled()) {
+          // Per-row objective: c*f(x) + elastic-net distortion. Computed
+          // from bitwise-identical values in the compacted and dense
+          // paths, so the retirement schedule is identical too.
+          const float obj = c[g] * cand.f[loc] +
+                            elastic_distance(cfg.beta, adv, nat, row);
+          if (plateau.observe(g, obj)) to_retire.push_back(g);
         }
       }
 
-      if (cfg.use_fista) {
-        // y^(k+1) = x^(k+1) + k/(k+3) * (x^(k+1) - x^(k)).
-        const float zeta = static_cast<float>(k) / static_cast<float>(k + 3);
-        y = x_new;
-        const float* pn = x_new.data();
-        const float* pp = x.data();
-        float* py = y.data();
-        for (std::size_t i = 0, m = y.numel(); i < m; ++i) {
-          py[i] += zeta * (pn[i] - pp[i]);
+      // FISTA / ISTA iterate updates, written back to the full-size x and
+      // y. One shared per-row loop serves both paths (bitwise identity).
+      const float zeta = static_cast<float>(k) / static_cast<float>(k + 3);
+      for (std::size_t a = 0; a < na; ++a) {
+        const std::size_t g = idx[a];
+        const std::size_t loc = sub ? a : g;
+        const float* pn = x_new.data() + loc * row;
+        float* py = y.data() + g * row;
+        float* px = x.data() + g * row;
+        if (cfg.use_fista) {
+          // y^(k+1) = x^(k+1) + k/(k+3) * (x^(k+1) - x^(k)).
+          for (std::size_t d = 0; d < row; ++d) {
+            py[d] = pn[d];
+            py[d] += zeta * (pn[d] - px[d]);
+          }
+        } else {
+          std::copy_n(pn, row, py);
         }
-      } else {
-        y = x_new;
+        std::copy_n(pn, row, px);
       }
-      x = x_new;
+
+      for (const std::size_t g : to_retire) {
+        rows.retire(g);
+        ++stats.rows_retired;
+      }
     }
 
     // Per-image binary search over c (standard C&W/EAD schedule).
@@ -167,6 +255,7 @@ std::vector<AttackResult> ead_attack_multi(
       }
     }
   }
+  stats.flush(cfg.metrics_name);
 
   for (std::size_t r = 0; r < nrules; ++r) {
     fill_distortions(results[r], images);
@@ -178,8 +267,9 @@ AttackResult ead_attack(nn::Sequential& model, const Tensor& images,
                         const std::vector<int>& labels,
                         const EadConfig& cfg) {
   const DecisionRule rules[1] = {cfg.rule};
-  return std::move(
-      ead_attack_multi(model, images, labels, cfg, rules).front());
+  std::vector<AttackResult> results =
+      ead_attack_multi(model, images, labels, cfg, rules);
+  return std::move(results.front());
 }
 
 }  // namespace adv::attacks

@@ -39,6 +39,22 @@ struct EadConfig {
   // Untargeted uses the paper's eq. (3) loss with `labels` = true labels;
   // Targeted uses eq. (2) with `labels` = desired target labels.
   HingeMode mode = HingeMode::Untargeted;
+
+  // --- active-set engine knobs (see attacks/engine.hpp) ---------------
+  // Early abort: retire a row inside a binary-search step once its
+  // objective c*f(x) + ||x-x0||_2^2 + beta*||x-x0||_1 has gone
+  // `abort_early_window` consecutive iterations without improving by more
+  // than abort_early_rel_tol * |best|. 0 disables (the default — results
+  // are then exactly the full-schedule optimization).
+  std::size_t abort_early_window = 0;
+  float abort_early_rel_tol = 1e-4f;
+  // Row compaction: run model passes on a dense gather of the still-active
+  // rows only. Bitwise-identical outputs either way (layers are per-row
+  // independent), so this is on by default; off is the benchmark baseline.
+  bool compact = true;
+  // Name under which engine/observability counters are recorded
+  // ("attack/<metrics_name>/..."). The C&W-L2 wrapper sets "cw-l2".
+  std::string metrics_name = "ead";
 };
 
 /// Runs batched EAD against `model` (logit outputs). In untargeted mode

@@ -1,0 +1,126 @@
+// Active-set attack engine: shared machinery that lets the iterative
+// attacks (EAD / C&W-L2 / I-FGSM / DeepFool) stop paying model passes for
+// batch rows that no longer need them.
+//
+// Three cooperating pieces:
+//   * ActiveSet — an index map of still-active rows. Attacks gather the
+//     active rows into a dense sub-batch, run the model on it, and scatter
+//     the results back. Because every layer in this library is per-row
+//     independent (conv/GEMM accumulate each output element over a fixed
+//     reduction order that does not depend on the batch size), a row's
+//     forward/backward values are bitwise identical whether it is passed
+//     alone, in a compacted sub-batch, or in the full batch — so
+//     compaction is an observable no-op and is safe to enable by default.
+//   * PlateauDetector — per-row early abort. A row is retired once its
+//     objective has failed to improve by more than rel_tol * |best| for
+//     `window` consecutive observations. Retirement freezes the row (its
+//     iterate stops updating and stops being considered for bookkeeping),
+//     so the retirement *schedule* is a pure function of the per-row
+//     objective series and is identical with compaction on or off.
+//   * EngineStats — counters flushed to adv::obs under
+//     "attack/<name>/rows_retired" and "attack/<name>/passes_saved"
+//     (row-passes avoided relative to running the same schedule on the
+//     full batch every iteration).
+//
+// The gather/scatter helpers below are the only way attacks move rows in
+// and out of sub-batches; keeping one compiled copy of each loop is what
+// makes the compacted and dense code paths produce identical floats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adv::attacks {
+
+/// Index map over the rows of a batch that still need model passes.
+/// Starts with every row active; retire() removes rows one at a time.
+/// indices() stays sorted ascending, so gathered sub-batches preserve the
+/// original row order.
+class ActiveSet {
+ public:
+  explicit ActiveSet(std::size_t n);
+
+  std::size_t size() const { return flags_.size(); }
+  std::size_t active_count() const { return indices_.size(); }
+  bool all_active() const { return indices_.size() == flags_.size(); }
+  bool none_active() const { return indices_.empty(); }
+  bool active(std::size_t i) const { return flags_[i] != 0; }
+
+  /// Sorted global indices of the active rows.
+  const std::vector<std::size_t>& indices() const { return indices_; }
+
+  /// Removes row i (no-op if already retired).
+  void retire(std::size_t i);
+
+  /// Re-activates every row (new binary-search step).
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::size_t> indices_;
+};
+
+/// Per-row loss-plateau detector. window == 0 disables early abort:
+/// observe() then never reports a plateau.
+class PlateauDetector {
+ public:
+  PlateauDetector(std::size_t n, std::size_t window, float rel_tol);
+
+  bool enabled() const { return window_ > 0; }
+
+  /// Feeds row i's objective for this iteration. Returns true when the
+  /// row has now gone `window` consecutive observations without improving
+  /// on its best value by more than rel_tol * |best| (i.e. it should be
+  /// retired).
+  bool observe(std::size_t i, float value);
+
+  /// Forgets all history (new binary-search step).
+  void reset();
+
+ private:
+  std::size_t window_;
+  float rel_tol_;
+  std::vector<float> best_;
+  std::vector<std::uint32_t> stale_;
+};
+
+/// Counters one attack run accumulates and flushes to adv::obs.
+struct EngineStats {
+  std::size_t rows_retired = 0;  // early-abort retirements
+  std::size_t passes_saved = 0;  // row-passes avoided via compaction
+
+  /// One model pass executed on `active` of `total` rows: credit the
+  /// skipped rows.
+  void record_pass(std::size_t total, std::size_t active) {
+    passes_saved += total - active;
+  }
+
+  /// Adds the counters to "attack/<name>/rows_retired" and
+  /// "attack/<name>/passes_saved" (no-op when obs is disabled).
+  void flush(const std::string& attack_name) const;
+};
+
+/// Copies rows `idx` of `batch` (leading dim = rows) into a dense
+/// [idx.size(), ...] tensor, preserving order.
+Tensor gather_rows(const Tensor& batch, const std::vector<std::size_t>& idx);
+
+/// Scatters the rows of `sub` back into `batch` at positions `idx`
+/// (inverse of gather_rows).
+void scatter_rows(const Tensor& sub, const std::vector<std::size_t>& idx,
+                  Tensor& batch);
+
+/// gather_rows for flat per-row metadata (labels, weights, ...).
+template <typename T>
+std::vector<T> gather(const std::vector<T>& v,
+                      const std::vector<std::size_t>& idx) {
+  std::vector<T> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.push_back(v[i]);
+  return out;
+}
+
+}  // namespace adv::attacks

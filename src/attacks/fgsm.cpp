@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "attacks/engine.hpp"
 #include "nn/loss.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -19,36 +20,76 @@ AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
     throw std::invalid_argument("fgsm_attack: iterations must be > 0");
   }
   const std::size_t n = images.dim(0);
+  const std::size_t row = images.numel() / n;
   const float step = cfg.epsilon / static_cast<float>(cfg.iterations);
 
   Tensor x = images;
   nn::SoftmaxCrossEntropy loss;
-  for (std::size_t k = 0; k < cfg.iterations; ++k) {
-    const Tensor logits = model.forward(x, nn::Mode::Eval);
-    loss.forward(logits, labels);
+  ActiveSet rows(n);
+  EngineStats stats;
+  std::vector<std::size_t> to_retire;
+  for (std::size_t k = 0; k < cfg.iterations && !rows.none_active(); ++k) {
+    const std::vector<std::size_t>& idx = rows.indices();
+    const std::size_t na = idx.size();
+    const bool sub = cfg.compact && na < n;
+    Tensor x_g;
+    std::vector<int> lab_g;
+    if (sub) {
+      x_g = gather_rows(x, idx);
+      lab_g = gather(labels, idx);
+    }
+    const Tensor& xcur = sub ? x_g : x;
+    const std::vector<int>& lab = sub ? lab_g : labels;
+
+    const Tensor logits = model.forward(xcur, nn::Mode::Eval);
+    loss.forward(logits, lab);
     const Tensor grad = model.backward(loss.backward());
-    float* px = x.data();
-    const float* pg = grad.data();
-    const float* p0 = images.data();
-    for (std::size_t i = 0, m = x.numel(); i < m; ++i) {
-      float v = px[i] + step * (pg[i] > 0.0f ? 1.0f
-                                : pg[i] < 0.0f ? -1.0f
-                                               : 0.0f);
-      // Project back into the eps-ball around x0, then into [0,1].
-      v = std::clamp(v, p0[i] - cfg.epsilon, p0[i] + cfg.epsilon);
-      px[i] = std::clamp(v, 0.0f, 1.0f);
+    if (sub) {
+      stats.record_pass(n, na);  // forward
+      stats.record_pass(n, na);  // backward
+    }
+
+    // Sign step + eps-ball/[0,1] projection per active row. The CE seed is
+    // (softmax - onehot) / batch, so the sub-batch gradient differs from
+    // the full-batch one only by a positive per-row scale — the sign (and
+    // hence the update) is identical either way. A row left bitwise
+    // unchanged is at a fixed point of this deterministic map and retires.
+    to_retire.clear();
+    for (std::size_t a = 0; a < na; ++a) {
+      const std::size_t g = idx[a];
+      const std::size_t loc = sub ? a : g;
+      float* px = x.data() + g * row;
+      const float* pg = grad.data() + loc * row;
+      const float* p0 = images.data() + g * row;
+      bool moved = false;
+      for (std::size_t d = 0; d < row; ++d) {
+        float v = px[d] + step * (pg[d] > 0.0f ? 1.0f
+                                  : pg[d] < 0.0f ? -1.0f
+                                                 : 0.0f);
+        // Project back into the eps-ball around x0, then into [0,1].
+        v = std::clamp(v, p0[d] - cfg.epsilon, p0[d] + cfg.epsilon);
+        v = std::clamp(v, 0.0f, 1.0f);
+        if (v != px[d]) moved = true;
+        px[d] = v;
+      }
+      if (!moved) to_retire.push_back(g);
+    }
+    for (const std::size_t g : to_retire) {
+      rows.retire(g);
+      ++stats.rows_retired;
     }
   }
+  stats.flush(cfg.iterations > 1 ? "ifgsm" : "fgsm");
 
   AttackResult result;
   result.adversarial = x;
   result.success.assign(n, false);
-  const HingeEval eval = eval_untargeted_hinge(model, x, labels, 0.0f);
+  const HingeEval eval =
+      eval_untargeted_hinge(model, x, labels, 0.0f, nn::Mode::Infer);
   for (std::size_t i = 0; i < n; ++i) {
     result.success[i] = eval.margin[i] > 0.0f;  // misclassified
   }
   // Keep natural images for failed rows so distortion stats stay honest.
-  const std::size_t row = images.numel() / n;
   for (std::size_t i = 0; i < n; ++i) {
     if (!result.success[i]) {
       std::copy_n(images.data() + i * row, row,

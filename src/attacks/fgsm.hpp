@@ -9,6 +9,12 @@ namespace adv::attacks {
 struct FgsmConfig {
   float epsilon = 0.1f;      // L-inf budget in [0,1] pixel space
   std::size_t iterations = 1; // 1 = one-shot FGSM; >1 = I-FGSM with step eps/T
+  // Row compaction for the active-set engine (see attacks/engine.hpp).
+  // Rows retire at their fixed point: the sign-step update is a
+  // deterministic per-row map, so a row the step leaves bitwise unchanged
+  // can never move again and is safe to drop from subsequent passes.
+  // Output-identical on or off.
+  bool compact = true;
 };
 
 /// Untargeted (I-)FGSM: ascend the cross-entropy loss of the true label.

@@ -17,76 +17,96 @@ void require_same_shape(const Tensor& a, const Tensor& b, const char* who) {
 
 }  // namespace
 
-Tensor ReLU::forward(const Tensor& input, Mode /*mode*/) {
-  input_ = input;
-  Tensor out = input;
-  for (float& v : out.values()) v = v > 0.0f ? v : 0.0f;
+Tensor ReLU::forward(const Tensor& input, Mode mode) {
+  if (caches_for_backward(mode)) input_ = input;
+  Tensor out = make_buffer(input.shape());
+  const float* x = input.data();
+  float* o = out.data();
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
+    o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
   return out;
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
   require_same_shape(input_, grad_output, "ReLU");
-  Tensor grad = grad_output;
+  Tensor grad = make_buffer(grad_output.shape());
   const float* x = input_.data();
+  const float* gin = grad_output.data();
   float* g = grad.data();
   for (std::size_t i = 0, n = grad.numel(); i < n; ++i) {
-    if (x[i] <= 0.0f) g[i] = 0.0f;
+    g[i] = x[i] <= 0.0f ? 0.0f : gin[i];
   }
   return grad;
 }
 
-Tensor LeakyReLU::forward(const Tensor& input, Mode /*mode*/) {
-  input_ = input;
-  Tensor out = input;
-  for (float& v : out.values()) {
-    if (v < 0.0f) v *= negative_slope_;
+Tensor LeakyReLU::forward(const Tensor& input, Mode mode) {
+  if (caches_for_backward(mode)) input_ = input;
+  Tensor out = make_buffer(input.shape());
+  const float* x = input.data();
+  float* o = out.data();
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
+    o[i] = x[i] < 0.0f ? x[i] * negative_slope_ : x[i];
   }
   return out;
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_output) {
   require_same_shape(input_, grad_output, "LeakyReLU");
-  Tensor grad = grad_output;
+  Tensor grad = make_buffer(grad_output.shape());
   const float* x = input_.data();
+  const float* gin = grad_output.data();
   float* g = grad.data();
   for (std::size_t i = 0, n = grad.numel(); i < n; ++i) {
-    if (x[i] < 0.0f) g[i] *= negative_slope_;
+    g[i] = x[i] < 0.0f ? gin[i] * negative_slope_ : gin[i];
   }
   return grad;
 }
 
-Tensor Sigmoid::forward(const Tensor& input, Mode /*mode*/) {
-  Tensor out = input;
-  for (float& v : out.values()) v = 1.0f / (1.0f + std::exp(-v));
-  output_ = out;
+Tensor Sigmoid::forward(const Tensor& input, Mode mode) {
+  Tensor out = make_buffer(input.shape());
+  const float* x = input.data();
+  float* o = out.data();
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
+    o[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+  // The cache is the *output* (sigmoid' = y(1-y)), so the copy cannot be
+  // skipped by handing out the buffer itself — recycling may overwrite it.
+  if (caches_for_backward(mode)) output_ = out;
   return out;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {
   require_same_shape(output_, grad_output, "Sigmoid");
-  Tensor grad = grad_output;
+  Tensor grad = make_buffer(grad_output.shape());
   const float* y = output_.data();
+  const float* gin = grad_output.data();
   float* g = grad.data();
   for (std::size_t i = 0, n = grad.numel(); i < n; ++i) {
-    g[i] *= y[i] * (1.0f - y[i]);
+    g[i] = gin[i] * y[i] * (1.0f - y[i]);
   }
   return grad;
 }
 
-Tensor Tanh::forward(const Tensor& input, Mode /*mode*/) {
-  Tensor out = input;
-  for (float& v : out.values()) v = std::tanh(v);
-  output_ = out;
+Tensor Tanh::forward(const Tensor& input, Mode mode) {
+  Tensor out = make_buffer(input.shape());
+  const float* x = input.data();
+  float* o = out.data();
+  for (std::size_t i = 0, n = out.numel(); i < n; ++i) {
+    o[i] = std::tanh(x[i]);
+  }
+  if (caches_for_backward(mode)) output_ = out;
   return out;
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
   require_same_shape(output_, grad_output, "Tanh");
-  Tensor grad = grad_output;
+  Tensor grad = make_buffer(grad_output.shape());
   const float* y = output_.data();
+  const float* gin = grad_output.data();
   float* g = grad.data();
   for (std::size_t i = 0, n = grad.numel(); i < n; ++i) {
-    g[i] *= 1.0f - y[i] * y[i];
+    g[i] = gin[i] * (1.0f - y[i] * y[i]);
   }
   return grad;
 }

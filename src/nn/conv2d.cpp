@@ -95,13 +95,13 @@ Conv2d::Conv2d(const Conv2dConfig& cfg, Rng& rng)
   glorot_uniform(weight_, fan_in, fan_out, rng);
 }
 
-Tensor Conv2d::forward(const Tensor& input, Mode /*mode*/) {
+Tensor Conv2d::forward(const Tensor& input, Mode mode) {
   if (input.rank() != 4 || input.dim(1) != cfg_.in_channels) {
     throw std::invalid_argument("Conv2d::forward: expected [N, " +
                                 std::to_string(cfg_.in_channels) +
                                 ", H, W], got " + input.shape_string());
   }
-  input_ = input;
+  if (caches_for_backward(mode)) input_ = input;
   const std::size_t n = input.dim(0);
   const std::size_t h = input.dim(2), w = input.dim(3);
   if (h + 2 * cfg_.padding < cfg_.kernel || w + 2 * cfg_.padding < cfg_.kernel) {
@@ -110,15 +110,25 @@ Tensor Conv2d::forward(const Tensor& input, Mode /*mode*/) {
   const std::size_t oh = output_dim(h), ow = output_dim(w);
   const std::size_t k2 = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
   const std::size_t plane = oh * ow;
-  Tensor out({n, cfg_.out_channels, oh, ow});
+  Tensor out = make_buffer({n, cfg_.out_channels, oh, ow});
 
-  ThreadPool::global().parallel_for(0, n, [&](std::size_t b0, std::size_t b1) {
-    std::vector<float> col(k2 * plane);
+  auto& pool = ThreadPool::global();
+  // Column scratch is acquired per chunk up front: the workspace mutex is
+  // never touched inside the parallel region. im2col fully overwrites the
+  // buffer, so recycled contents are invisible.
+  std::vector<Tensor> cols;
+  cols.reserve(pool.max_chunks());
+  for (std::size_t c = 0; c < pool.max_chunks(); ++c) {
+    cols.push_back(make_buffer({k2, plane}));
+  }
+  pool.parallel_for_indexed(0, n, [&](std::size_t chunk, std::size_t b0,
+                                      std::size_t b1) {
+    float* col = cols[chunk].data();
     for (std::size_t s = b0; s < b1; ++s) {
       im2col(input.data() + s * cfg_.in_channels * h * w, cfg_.in_channels,
-             h, w, cfg_.kernel, cfg_.stride, cfg_.padding, col.data());
+             h, w, cfg_.kernel, cfg_.stride, cfg_.padding, col);
       float* dst = out.data() + s * cfg_.out_channels * plane;
-      gemm_raw(weight_.data(), col.data(), dst, cfg_.out_channels, k2, plane,
+      gemm_raw(weight_.data(), col, dst, cfg_.out_channels, k2, plane,
                {.accumulate = false, .parallel = false});
       for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
         const float b = bias_[oc];
@@ -127,6 +137,7 @@ Tensor Conv2d::forward(const Tensor& input, Mode /*mode*/) {
       }
     }
   });
+  for (auto& c : cols) recycle(std::move(c));
   return out;
 }
 
@@ -142,20 +153,35 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
   const std::size_t k2 = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
   const std::size_t plane = oh * ow;
-  Tensor grad_input(input_.shape());
+  // col2im accumulates, so the input gradient must start zeroed.
+  Tensor grad_input = make_buffer(input_.shape(), /*zeroed=*/true);
 
   auto& pool = ThreadPool::global();
   const std::size_t chunks = pool.max_chunks();
   // Per-chunk parameter-gradient scratch, reduced in chunk order below.
-  std::vector<Tensor> dw_parts(chunks, Tensor(weight_.shape()));
-  std::vector<Tensor> db_parts(chunks, Tensor(bias_.shape()));
+  // Kept as members (zeroed each call) so repeated backwards allocate
+  // nothing.
+  if (dw_parts_.size() != chunks) {
+    dw_parts_.assign(chunks, Tensor(weight_.shape()));
+    db_parts_.assign(chunks, Tensor(bias_.shape()));
+  } else {
+    for (auto& t : dw_parts_) t.fill(0.0f);
+    for (auto& t : db_parts_) t.fill(0.0f);
+  }
+  // Column scratch per chunk, acquired outside the parallel region (both
+  // buffers are fully overwritten before use).
+  std::vector<Tensor> cols;
+  cols.reserve(2 * chunks);
+  for (std::size_t c = 0; c < 2 * chunks; ++c) {
+    cols.push_back(make_buffer({k2, plane}));
+  }
 
   pool.parallel_for_indexed(0, n, [&](std::size_t chunk, std::size_t b0,
                                       std::size_t b1) {
-    std::vector<float> col(k2 * plane);
-    std::vector<float> dcol(k2 * plane);
-    Tensor& dw = dw_parts[chunk];
-    Tensor& db = db_parts[chunk];
+    float* col = cols[2 * chunk].data();
+    float* dcol = cols[2 * chunk + 1].data();
+    Tensor& dw = dw_parts_[chunk];
+    Tensor& db = db_parts_[chunk];
     for (std::size_t s = b0; s < b1; ++s) {
       const float* gout = grad_output.data() + s * cfg_.out_channels * plane;
       // db
@@ -167,25 +193,26 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       }
       // Recompute the column buffer (cheaper than caching it for wide AEs).
       im2col(input_.data() + s * cfg_.in_channels * h * w, cfg_.in_channels,
-             h, w, cfg_.kernel, cfg_.stride, cfg_.padding, col.data());
+             h, w, cfg_.kernel, cfg_.stride, cfg_.padding, col);
       // dW += gout [out_c, plane] * col^T [plane, k2] (B stored [k2, plane])
-      gemm_a_bt_raw(gout, col.data(), dw.data(), cfg_.out_channels, plane,
+      gemm_a_bt_raw(gout, col, dw.data(), cfg_.out_channels, plane,
                     k2, {.accumulate = true, .parallel = false});
       // dcol = W^T [k2, out_c] * gout [out_c, plane] (A stored [out_c, k2])
-      gemm_at_b_raw(weight_.data(), gout, dcol.data(), k2,
+      gemm_at_b_raw(weight_.data(), gout, dcol, k2,
                     cfg_.out_channels, plane,
                     {.accumulate = false, .parallel = false});
-      col2im(dcol.data(), cfg_.in_channels, h, w, cfg_.kernel, cfg_.stride,
+      col2im(dcol, cfg_.in_channels, h, w, cfg_.kernel, cfg_.stride,
              cfg_.padding,
              grad_input.data() + s * cfg_.in_channels * h * w);
     }
   });
+  for (auto& c : cols) recycle(std::move(c));
 
   for (std::size_t c = 0; c < chunks; ++c) {
     float* gw = grad_weight_.data();
     float* gb = grad_bias_.data();
-    const float* pw = dw_parts[c].data();
-    const float* pb = db_parts[c].data();
+    const float* pw = dw_parts_[c].data();
+    const float* pb = db_parts_[c].data();
     for (std::size_t i = 0, m = grad_weight_.numel(); i < m; ++i) gw[i] += pw[i];
     for (std::size_t i = 0, m = grad_bias_.numel(); i < m; ++i) gb[i] += pb[i];
   }

@@ -32,6 +32,9 @@ class Conv2d final : public Layer {
   Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<const Tensor*> parameters() const override {
+    return {&weight_, &bias_};
+  }
   std::vector<Tensor*> gradients() override {
     return {&grad_weight_, &grad_bias_};
   }
@@ -48,7 +51,11 @@ class Conv2d final : public Layer {
   Tensor bias_;         // [out_c]
   Tensor grad_weight_;
   Tensor grad_bias_;
-  Tensor input_;        // cached batch for backward
+  Tensor input_;        // cached batch for backward (skipped in Mode::Infer)
+  // Per-chunk parameter-gradient scratch, kept across backward calls so the
+  // hot attack loop does not reallocate it; zeroed at the top of each call.
+  std::vector<Tensor> dw_parts_;
+  std::vector<Tensor> db_parts_;
 };
 
 /// Unpacks one sample [C, H, W] (within a batch tensor) into a column

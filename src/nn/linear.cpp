@@ -17,14 +17,16 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
   glorot_uniform(weight_, in_features, out_features, rng);
 }
 
-Tensor Linear::forward(const Tensor& input, Mode /*mode*/) {
+Tensor Linear::forward(const Tensor& input, Mode mode) {
   if (input.rank() != 2 || input.dim(1) != in_) {
     throw std::invalid_argument("Linear::forward: expected [N, " +
                                 std::to_string(in_) + "], got " +
                                 input.shape_string());
   }
-  input_ = input;
-  Tensor out;
+  if (caches_for_backward(mode)) input_ = input;
+  // gemm's prepare_c keeps an already-correctly-shaped c, so the recycled
+  // buffer is used in place and fully overwritten.
+  Tensor out = make_buffer({input.dim(0), out_});
   gemm(input, weight_, out);
   const std::size_t n = out.dim(0);
   float* o = out.data();
@@ -51,7 +53,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
     for (std::size_t c = 0; c < out_; ++c) db[c] += g[r * out_ + c];
   }
   // dx = dy * W^T
-  Tensor dx;
+  Tensor dx = make_buffer(input_.shape());
   gemm_a_bt(grad_output, weight_, dx);
   return dx;
 }

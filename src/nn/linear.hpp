@@ -15,6 +15,9 @@ class Linear final : public Layer {
   Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<const Tensor*> parameters() const override {
+    return {&weight_, &bias_};
+  }
   std::vector<Tensor*> gradients() override {
     return {&grad_weight_, &grad_bias_};
   }

@@ -30,7 +30,7 @@ Tensor AvgPool2d::forward(const Tensor& input, Mode /*mode*/) {
   const std::size_t h = input.dim(2), w = input.dim(3);
   const std::size_t oh = h / window_, ow = w / window_;
   const float inv = 1.0f / static_cast<float>(window_ * window_);
-  Tensor out({n, c, oh, ow});
+  Tensor out = make_buffer({n, c, oh, ow});
   for (std::size_t nc = 0; nc < n * c; ++nc) {
     const float* src = input.data() + nc * h * w;
     float* dst = out.data() + nc * oh * ow;
@@ -57,7 +57,7 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
                                 grad_output.shape_string());
   }
   const float inv = 1.0f / static_cast<float>(window_ * window_);
-  Tensor grad(input_shape_);
+  Tensor grad = make_buffer(input_shape_, /*zeroed=*/true);
   for (std::size_t nc = 0; nc < n * c; ++nc) {
     const float* src = grad_output.data() + nc * oh * ow;
     float* dst = grad.data() + nc * h * w;
@@ -74,18 +74,19 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, Mode /*mode*/) {
+Tensor MaxPool2d::forward(const Tensor& input, Mode mode) {
   require_poolable(input, window_, "MaxPool2d");
   input_shape_ = input.shape();
   const std::size_t n = input.dim(0), c = input.dim(1);
   const std::size_t h = input.dim(2), w = input.dim(3);
   const std::size_t oh = h / window_, ow = w / window_;
-  Tensor out({n, c, oh, ow});
-  argmax_.assign(out.numel(), 0);
+  Tensor out = make_buffer({n, c, oh, ow});
+  const bool cache = caches_for_backward(mode);
+  if (cache) argmax_.assign(out.numel(), 0);
   for (std::size_t nc = 0; nc < n * c; ++nc) {
     const float* src = input.data() + nc * h * w;
     float* dst = out.data() + nc * oh * ow;
-    std::size_t* amax = argmax_.data() + nc * oh * ow;
+    std::size_t* amax = cache ? argmax_.data() + nc * oh * ow : nullptr;
     for (std::size_t i = 0; i < oh; ++i) {
       for (std::size_t j = 0; j < ow; ++j) {
         float best = -std::numeric_limits<float>::infinity();
@@ -101,7 +102,7 @@ Tensor MaxPool2d::forward(const Tensor& input, Mode /*mode*/) {
           }
         }
         dst[i * ow + j] = best;
-        amax[i * ow + j] = nc * h * w + best_idx;
+        if (cache) amax[i * ow + j] = nc * h * w + best_idx;
       }
     }
   }
@@ -113,7 +114,7 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
     throw std::invalid_argument("MaxPool2d::backward: bad grad shape " +
                                 grad_output.shape_string());
   }
-  Tensor grad(input_shape_);
+  Tensor grad = make_buffer(input_shape_, /*zeroed=*/true);
   const float* g = grad_output.data();
   float* dst = grad.data();
   for (std::size_t i = 0, m = argmax_.size(); i < m; ++i) {
@@ -131,7 +132,7 @@ Tensor Upsample2d::forward(const Tensor& input, Mode /*mode*/) {
   const std::size_t n = input.dim(0), c = input.dim(1);
   const std::size_t h = input.dim(2), w = input.dim(3);
   const std::size_t oh = h * factor_, ow = w * factor_;
-  Tensor out({n, c, oh, ow});
+  Tensor out = make_buffer({n, c, oh, ow});
   for (std::size_t nc = 0; nc < n * c; ++nc) {
     const float* src = input.data() + nc * h * w;
     float* dst = out.data() + nc * oh * ow;
@@ -152,7 +153,7 @@ Tensor Upsample2d::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Upsample2d::backward: bad grad shape " +
                                 grad_output.shape_string());
   }
-  Tensor grad(input_shape_);
+  Tensor grad = make_buffer(input_shape_, /*zeroed=*/true);
   for (std::size_t nc = 0; nc < n * c; ++nc) {
     const float* src = grad_output.data() + nc * oh * ow;
     float* dst = grad.data() + nc * h * w;

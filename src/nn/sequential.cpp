@@ -19,25 +19,46 @@ void Sequential::sync_obs_timers() {
   }
 }
 
+void Sequential::sync_workspace() {
+  if (!ws_) ws_ = std::make_unique<Workspace>();  // moved-from safety
+  if (ws_synced_layers_ == layers_.size()) return;
+  for (auto& layer : layers_) layer->set_workspace(ws_.get());
+  ws_synced_layers_ = layers_.size();
+}
+
 Tensor Sequential::forward(const Tensor& input, Mode mode) {
-  Tensor x = input;
+  sync_workspace();
+  if (layers_.empty()) return input;
   if (obs::enabled()) {
     sync_obs_timers();
     static obs::Counter& calls =
         obs::MetricsRegistry::global().counter("model/forward_calls");
     calls.add(1);
-    for (std::size_t i = 0; i < layers_.size(); ++i) {
-      obs::ScopedTimer t(obs_timers_[i].forward);
-      x = layers_[i]->forward(x, mode);
+    Tensor x;
+    {
+      obs::ScopedTimer t(obs_timers_[0].forward);
+      x = layers_[0]->forward(input, mode);
     }
-  } else {
-    for (auto& layer : layers_) x = layer->forward(x, mode);
+    for (std::size_t i = 1; i < layers_.size(); ++i) {
+      obs::ScopedTimer t(obs_timers_[i].forward);
+      Tensor next = layers_[i]->forward(x, mode);
+      ws_->release(std::move(x));  // layer i has consumed (copied from) x
+      x = std::move(next);
+    }
+    return x;
+  }
+  Tensor x = layers_[0]->forward(input, mode);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    Tensor next = layers_[i]->forward(x, mode);
+    ws_->release(std::move(x));
+    x = std::move(next);
   }
   return x;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
-  Tensor g = grad_output;
+  sync_workspace();
+  if (layers_.empty()) return grad_output;
   if (obs::enabled()) {
     sync_obs_timers();
     // One backward call == one gradient query: the attack metrics derive
@@ -45,14 +66,24 @@ Tensor Sequential::backward(const Tensor& grad_output) {
     static obs::Counter& calls =
         obs::MetricsRegistry::global().counter("model/backward_calls");
     calls.add(1);
-    for (std::size_t i = layers_.size(); i-- > 0;) {
+    Tensor g;
+    {
+      obs::ScopedTimer t(obs_timers_.back().backward);
+      g = layers_.back()->backward(grad_output);
+    }
+    for (std::size_t i = layers_.size() - 1; i-- > 0;) {
       obs::ScopedTimer t(obs_timers_[i].backward);
-      g = layers_[i]->backward(g);
+      Tensor next = layers_[i]->backward(g);
+      ws_->release(std::move(g));
+      g = std::move(next);
     }
-  } else {
-    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-      g = (*it)->backward(g);
-    }
+    return g;
+  }
+  Tensor g = layers_.back()->backward(grad_output);
+  for (std::size_t i = layers_.size() - 1; i-- > 0;) {
+    Tensor next = layers_[i]->backward(g);
+    ws_->release(std::move(g));
+    g = std::move(next);
   }
   return g;
 }
@@ -61,6 +92,16 @@ std::vector<Tensor*> Sequential::parameters() {
   std::vector<Tensor*> out;
   for (auto& layer : layers_) {
     for (Tensor* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<const Tensor*> Sequential::parameters() const {
+  std::vector<const Tensor*> out;
+  for (const auto& layer : layers_) {
+    for (const Tensor* p : std::as_const(*layer).parameters()) {
+      out.push_back(p);
+    }
   }
   return out;
 }
@@ -79,21 +120,13 @@ void Sequential::zero_grad() {
 
 std::size_t Sequential::parameter_count() const {
   std::size_t n = 0;
-  for (const auto& layer : layers_) {
-    for (Tensor* p : const_cast<Layer&>(*layer).parameters()) {
-      n += p->numel();
-    }
-  }
+  for (const Tensor* p : parameters()) n += p->numel();
   return n;
 }
 
 void Sequential::save(const std::filesystem::path& path) const {
   std::vector<Tensor> params;
-  for (const auto& layer : layers_) {
-    for (Tensor* p : const_cast<Layer&>(*layer).parameters()) {
-      params.push_back(*p);
-    }
-  }
+  for (const Tensor* p : parameters()) params.push_back(*p);
   save_tensors(path, params);
 }
 

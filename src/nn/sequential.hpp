@@ -1,5 +1,13 @@
 // Sequential: an ordered stack of layers with whole-model forward,
 // backward (including gradient w.r.t. the input) and weight serialization.
+//
+// Each model owns a Workspace (an arena of reusable buffers, see
+// tensor/workspace.hpp) that is shared with its layers: intermediate
+// activations/gradients are released back to the arena as soon as the
+// next layer has consumed them, so steady-state passes over a fixed batch
+// shape allocate nothing. set_workspace_enabled(false) restores the
+// allocate-per-pass profile (the benchmark baseline); outputs are bitwise
+// identical either way.
 #pragma once
 
 #include <filesystem>
@@ -14,7 +22,7 @@ namespace adv::nn {
 
 class Sequential {
  public:
-  Sequential() = default;
+  Sequential() : ws_(std::make_unique<Workspace>()) {}
 
   // Move-only: layers hold caches and parameter storage.
   Sequential(Sequential&&) = default;
@@ -33,7 +41,8 @@ class Sequential {
 
   /// Moves every layer of `tail` (with its parameters and state) onto the
   /// end of this model, leaving `tail` empty. Used to compose models,
-  /// e.g. a gray-box attack target classifier(reformer(x)).
+  /// e.g. a gray-box attack target classifier(reformer(x)). Moved layers
+  /// are re-pointed at this model's workspace on the next pass.
   void append(Sequential&& tail) {
     for (auto& layer : tail.layers_) layers_.push_back(std::move(layer));
     tail.layers_.clear();
@@ -43,8 +52,9 @@ class Sequential {
   Layer& layer(std::size_t i) { return *layers_.at(i); }
   const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
-  /// Forward pass over all layers. Caches are populated, so backward() may
-  /// follow regardless of `mode` (attacks differentiate in eval mode).
+  /// Forward pass over all layers. Train/Eval populate backward caches
+  /// (attacks differentiate in eval mode); Infer skips them — see the
+  /// caching contract in layer.hpp.
   Tensor forward(const Tensor& input, Mode mode = Mode::Eval);
 
   /// Transitional overload for out-of-tree callers still passing the old
@@ -56,13 +66,24 @@ class Sequential {
   }
 
   /// Backpropagates d(loss)/d(output) through every layer, accumulating
-  /// parameter gradients, and returns d(loss)/d(input).
+  /// parameter gradients, and returns d(loss)/d(input). May be called
+  /// repeatedly after one caching forward (layer caches are read-only
+  /// during backward).
   Tensor backward(const Tensor& grad_output);
 
   std::vector<Tensor*> parameters();
+  std::vector<const Tensor*> parameters() const;
   std::vector<Tensor*> gradients();
   void zero_grad();
   std::size_t parameter_count() const;
+
+  /// This model's buffer arena (always present; shared with the layers).
+  Workspace& workspace() { return *ws_; }
+  const Workspace& workspace() const { return *ws_; }
+
+  /// Toggles buffer recycling for this model (on by default). Off, every
+  /// pass allocates fresh tensors — the A/B baseline for benchmarks.
+  void set_workspace_enabled(bool on) { ws_->set_enabled(on); }
 
   /// Saves all parameter tensors in layer order.
   void save(const std::filesystem::path& path) const;
@@ -81,9 +102,16 @@ class Sequential {
     obs::Timer* backward;
   };
   void sync_obs_timers();
+  // Re-points every layer at ws_ when the layer list changed since the
+  // last pass (same size-based trigger as the timers).
+  void sync_workspace();
 
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<LayerTimers> obs_timers_;
+  // unique_ptr keeps the arena's address stable across Sequential moves
+  // (layers hold a raw pointer to it).
+  std::unique_ptr<Workspace> ws_;
+  std::size_t ws_synced_layers_ = 0;
 };
 
 }  // namespace adv::nn

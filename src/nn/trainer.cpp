@@ -213,7 +213,8 @@ Tensor predict(Sequential& model, const Tensor& images,
   Tensor out;
   for (std::size_t b = 0; b < n; b += batch_size) {
     const std::size_t e = std::min(n, b + batch_size);
-    const Tensor y = model.forward(images.slice_rows(b, e), Mode::Eval);
+    // Forward-only: Infer skips the per-layer backward-cache copies.
+    const Tensor y = model.forward(images.slice_rows(b, e), Mode::Infer);
     if (out.empty()) {
       std::vector<std::size_t> dims = y.shape().dims();
       dims[0] = n;

@@ -1,0 +1,87 @@
+#include "tensor/workspace.hpp"
+
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace adv {
+
+Tensor Workspace::acquire(const Shape& shape, bool zeroed) {
+  const std::size_t n = shape.numel();
+  if (n == 0) return Tensor();
+  std::vector<float> buf;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled_) {
+      auto it = free_.find(n);
+      if (it != free_.end() && !it->second.empty()) {
+        buf = std::move(it->second.back());
+        it->second.pop_back();
+        ++reuses_;
+        bytes_reused_ += n * sizeof(float);
+      }
+    }
+    if (buf.empty()) ++misses_;
+  }
+  if (buf.empty()) return Tensor(shape);  // zero-filled by construction
+  if (zeroed) std::memset(buf.data(), 0, n * sizeof(float));
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("workspace/bytes_reused")
+        .add(n * sizeof(float));
+  }
+  return Tensor::from_data(shape, std::move(buf));
+}
+
+void Workspace::release(Tensor&& t) {
+  if (t.empty()) return;
+  const std::size_t n = t.numel();
+  std::vector<float> buf = std::move(t).take_data();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;  // drop: baseline allocation profile
+  auto& list = free_[n];
+  if (list.size() < kMaxPooledPerSize) list.push_back(std::move(buf));
+}
+
+void Workspace::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = on;
+  if (!on) free_.clear();
+}
+
+bool Workspace::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void Workspace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+}
+
+std::uint64_t Workspace::reuses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reuses_;
+}
+
+std::uint64_t Workspace::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t Workspace::bytes_reused() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_reused_;
+}
+
+std::size_t Workspace::pooled_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [size, list] : free_) {
+    (void)size;
+    n += list.size();
+  }
+  return n;
+}
+
+}  // namespace adv

@@ -1,0 +1,85 @@
+// Workspace: an arena of reusable Tensor buffers keyed by element count.
+//
+// Iterative attacks drive thousands of forward/backward passes through the
+// same architecture with identical batch shapes; without reuse every layer
+// allocates (and the allocator zero-fills) a fresh activation tensor per
+// pass. A Workspace recycles that storage: release() steals a dead
+// tensor's buffer into a size-keyed free list, acquire() hands it back out
+// for the next pass. One Workspace per model (Sequential owns one and
+// shares it with its layers), so buffer lifetime is bounded by the model's.
+//
+// Aliasing rules (see DESIGN.md §11):
+//   * acquire() transfers ownership OUT of the arena — two live acquires
+//     never alias, and a buffer re-enters the pool only via release().
+//   * acquire(shape, /*zeroed=*/false) returns UNSPECIFIED contents; the
+//     caller must fully overwrite it. Pass zeroed = true when the consumer
+//     accumulates (col2im, pooling backward) — results must be bitwise
+//     identical whether the buffer is recycled or freshly allocated.
+//   * release() of an empty tensor is a no-op; releasing the same storage
+//     twice is impossible by construction (release takes by value).
+//
+// Thread safety: acquire/release take a mutex, so layers may grab per-chunk
+// scratch from inside ThreadPool tasks. Calls are per-layer-pass (not
+// per-element); contention is negligible.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adv {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns a tensor of `shape`, recycling pooled storage of the same
+  /// element count when available. Contents are unspecified unless
+  /// `zeroed` (callers that accumulate into the buffer need zeros).
+  Tensor acquire(const Shape& shape, bool zeroed = false);
+
+  /// Returns a tensor's storage to the pool. Disabled workspaces (and
+  /// empty tensors) simply drop the storage.
+  void release(Tensor&& t);
+
+  /// Disabled: acquire() allocates fresh and release() frees — the exact
+  /// allocation profile of the pre-workspace code, used as the benchmark
+  /// baseline arm. Enabled by default.
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  /// Drops every pooled buffer (keeps the enabled flag).
+  void clear();
+
+  // --- statistics (monotonic over the workspace lifetime) ---------------
+  /// Number of acquire() calls served from the pool.
+  std::uint64_t reuses() const;
+  /// Number of acquire() calls that had to allocate.
+  std::uint64_t misses() const;
+  /// Bytes handed out from the pool instead of the allocator; also
+  /// recorded on the global "workspace/bytes_reused" counter when adv::obs
+  /// is enabled.
+  std::uint64_t bytes_reused() const;
+  /// Buffers currently parked in the pool.
+  std::size_t pooled_buffers() const;
+
+ private:
+  // Free lists keyed by element count: a [8,16,14,14] buffer can serve a
+  // later [8,3136] request — shapes are reapplied on acquire. Each list is
+  // capped so a one-off giant pass cannot pin memory forever.
+  static constexpr std::size_t kMaxPooledPerSize = 16;
+
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  std::unordered_map<std::size_t, std::vector<std::vector<float>>> free_;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t bytes_reused_ = 0;
+};
+
+}  // namespace adv

@@ -40,7 +40,7 @@ echo "== micro benchmarks (metrics emission) =="
                           --benchmark_min_time=0.05)
 
 fail=0
-for artifact in BENCH_gemm.json BENCH_layers.json; do
+for artifact in BENCH_gemm.json BENCH_layers.json BENCH_attack_engine.json; do
   if [ -s "$build_dir/$artifact" ]; then
     echo "ok: $build_dir/$artifact"
   elif [ "$artifact" = BENCH_layers.json ] && [ "${ADV_OBS:-1}" = 0 ]; then
@@ -50,4 +50,18 @@ for artifact in BENCH_gemm.json BENCH_layers.json; do
     fail=1
   fi
 done
+
+# The active-set engine must actually pay off: the A/B run in
+# BENCH_attack_engine.json (compaction + workspace on vs off, early abort
+# in both arms) has to show at least a 2x end-to-end speedup.
+if [ -s "$build_dir/BENCH_attack_engine.json" ]; then
+  speedup=$(sed -n 's/.*"speedup": *\([0-9.]*\).*/\1/p' \
+            "$build_dir/BENCH_attack_engine.json")
+  if awk -v s="${speedup:-0}" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "ok: attack engine speedup ${speedup}x (>= 2x)"
+  else
+    echo "FAIL: attack engine speedup ${speedup:-?}x < 2x" >&2
+    fail=1
+  fi
+fi
 exit "$fail"
