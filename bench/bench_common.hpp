@@ -14,8 +14,23 @@
 #include "core/evaluation.hpp"
 #include "core/magnet_factory.hpp"
 #include "core/model_zoo.hpp"
+#include "core/shard.hpp"
 
 namespace adv::bench {
+
+/// Warm phase shared by the sharded benches: trains/publishes (through
+/// the zoo cache) the classifier and the MagNet variants the body needs,
+/// so fanned-out workers only craft attacks. Idempotent — everything is
+/// cached by ScaleConfig::cache_tag().
+inline void warm_variants(
+    core::ModelZoo& zoo, core::DatasetId id,
+    std::initializer_list<core::MagnetVariant> variants,
+    magnet::ReconLoss ae_loss = magnet::ReconLoss::Mse) {
+  zoo.classifier(id);
+  for (const core::MagnetVariant v : variants) {
+    core::build_magnet(zoo, id, v, ae_loss);
+  }
+}
 
 /// The paper quotes some table rows at specific confidences (e.g. kappa =
 /// 15 on MNIST). Under REPRO_SCALE=full we use them exactly; the fast
@@ -105,9 +120,9 @@ inline void emit(const std::string& title, const std::string& csv_name,
 }
 
 inline const char* scale_banner(const core::ScaleConfig& cfg) {
-  return cfg.full ? "full (paper-scale counts)"
-                  : "fast (reduced counts; set REPRO_SCALE=full for "
-                    "paper-scale)";
+  if (cfg.full) return "full (paper-scale counts)";
+  if (cfg.smoke) return "smoke (CI-gate counts; determinism only)";
+  return "fast (reduced counts; set REPRO_SCALE=full for paper-scale)";
 }
 
 }  // namespace adv::bench

@@ -1,15 +1,17 @@
 // Shared driver for the supplementary EAD ablation figures (Figs. 6-11):
 // for one dataset and one MagNet variant, sweep beta x decision rule and
-// print the defense-scheme ablation curves for each combination.
+// print the defense-scheme ablation curves for each combination. Each
+// figure binary is one ead_ablation_main call, which also wires it
+// through the process-sharding driver (--shards N).
 #pragma once
 
 #include "bench_common.hpp"
 
 namespace adv::bench {
 
-inline void run_ead_ablation_figure(const char* figure, core::DatasetId id,
+inline void run_ead_ablation_figure(core::ModelZoo& zoo, const char* figure,
+                                    core::DatasetId id,
                                     core::MagnetVariant variant) {
-  core::ModelZoo zoo(core::scale_from_env());
   std::printf("== Figure %s: EAD ablation on %s, MagNet %s ==\n", figure,
               core::to_string(id), core::to_string(variant));
   std::printf("scale: %s\n", scale_banner(zoo.scale()));
@@ -29,6 +31,20 @@ inline void run_ead_ablation_figure(const char* figure, core::DatasetId id,
       emit(title, csv, curves);
     }
   }
+}
+
+inline int ead_ablation_main(int argc, char** argv, const char* bench_name,
+                             const char* figure, core::DatasetId id,
+                             core::MagnetVariant variant) {
+  core::ShardedBench sb;
+  sb.name = bench_name;
+  sb.warm = [id, variant](core::ModelZoo& zoo) {
+    warm_variants(zoo, id, {variant});
+  };
+  sb.body = [figure, id, variant](core::ModelZoo& zoo) {
+    run_ead_ablation_figure(zoo, figure, id, variant);
+  };
+  return core::shard_main(argc, argv, sb);
 }
 
 }  // namespace adv::bench

@@ -1,8 +1,8 @@
 // Figure 10: EAD vs the robust MNIST MagNet with widened auto-encoders
 // AND two extra JSD detectors.
 #include "ead_ablation_common.hpp"
-int main() {
-  adv::bench::run_ead_ablation_figure("10", adv::core::DatasetId::Mnist,
-                                      adv::core::MagnetVariant::WideJsd);
-  return 0;
+int main(int argc, char** argv) {
+  return adv::bench::ead_ablation_main(argc, argv, "fig10_mnist_ead_256_jsd", "10",
+                                       adv::core::DatasetId::Mnist,
+                                       adv::core::MagnetVariant::WideJsd);
 }

@@ -4,22 +4,29 @@
 
 using namespace adv;
 
-int main() {
-  core::ModelZoo zoo(core::scale_from_env());
+int main(int argc, char** argv) {
   const auto id = core::DatasetId::Cifar;
-  std::printf("== Figure 5: C&W ablation on CIFAR ==\n");
-  std::printf("scale: %s\n", bench::scale_banner(zoo.scale()));
-  const std::pair<core::MagnetVariant, const char*> panels[] = {
-      {core::MagnetVariant::Default, "a_default"},
-      {core::MagnetVariant::Wide, "b_256"},
+  core::ShardedBench sb;
+  sb.name = "fig5_cifar_cw_ablation";
+  sb.warm = [id](core::ModelZoo& zoo) {
+    bench::warm_variants(
+        zoo, id, {core::MagnetVariant::Default, core::MagnetVariant::Wide});
   };
-  for (const auto& [variant, tag] : panels) {
-    auto pipe = core::build_magnet(zoo, id, variant);
-    const auto curves = bench::scheme_ablation_curves(
-        zoo, id, *pipe, [&](float k) { return zoo.cw(id, k); });
-    bench::emit(std::string("Fig 5 (") + tag + ") — C&W vs MagNet " +
-                    core::to_string(variant) + " (accuracy %)",
-                std::string("fig5_") + tag + ".csv", curves);
-  }
-  return 0;
+  sb.body = [id](core::ModelZoo& zoo) {
+    std::printf("== Figure 5: C&W ablation on CIFAR ==\n");
+    std::printf("scale: %s\n", bench::scale_banner(zoo.scale()));
+    const std::pair<core::MagnetVariant, const char*> panels[] = {
+        {core::MagnetVariant::Default, "a_default"},
+        {core::MagnetVariant::Wide, "b_256"},
+    };
+    for (const auto& [variant, tag] : panels) {
+      auto pipe = core::build_magnet(zoo, id, variant);
+      const auto curves = bench::scheme_ablation_curves(
+          zoo, id, *pipe, [&](float k) { return zoo.cw(id, k); });
+      bench::emit(std::string("Fig 5 (") + tag + ") — C&W vs MagNet " +
+                      core::to_string(variant) + " (accuracy %)",
+                  std::string("fig5_") + tag + ".csv", curves);
+    }
+  };
+  return core::shard_main(argc, argv, sb);
 }

@@ -1,7 +1,7 @@
 // Figure 8: EAD vs the robust MNIST MagNet with two extra JSD detectors.
 #include "ead_ablation_common.hpp"
-int main() {
-  adv::bench::run_ead_ablation_figure("8", adv::core::DatasetId::Mnist,
-                                      adv::core::MagnetVariant::Jsd);
-  return 0;
+int main(int argc, char** argv) {
+  return adv::bench::ead_ablation_main(argc, argv, "fig8_mnist_ead_jsd", "8",
+                                       adv::core::DatasetId::Mnist,
+                                       adv::core::MagnetVariant::Jsd);
 }

@@ -1,8 +1,8 @@
 // Figure 9: EAD vs the robust MNIST MagNet with widened auto-encoders
 // (the paper's 256-filter variant).
 #include "ead_ablation_common.hpp"
-int main() {
-  adv::bench::run_ead_ablation_figure("9", adv::core::DatasetId::Mnist,
-                                      adv::core::MagnetVariant::Wide);
-  return 0;
+int main(int argc, char** argv) {
+  return adv::bench::ead_ablation_main(argc, argv, "fig9_mnist_ead_256", "9",
+                                       adv::core::DatasetId::Mnist,
+                                       adv::core::MagnetVariant::Wide);
 }

@@ -61,11 +61,27 @@ ScaleConfig scale_from_env() {
   ScaleConfig cfg;
   const char* scale = std::getenv("REPRO_SCALE");
   cfg.full = scale && std::string(scale) == "full";
-  if (scale && std::string(scale) != "full" && std::string(scale) != "fast") {
-    throw std::runtime_error("REPRO_SCALE must be 'fast' or 'full'");
+  cfg.smoke = scale && std::string(scale) == "smoke";
+  if (scale && std::string(scale) != "full" && std::string(scale) != "fast" &&
+      std::string(scale) != "smoke") {
+    throw std::runtime_error("REPRO_SCALE must be 'smoke', 'fast' or 'full'");
   }
   cfg.mnist_kappas = {0.0f, 5.0f, 10.0f, 20.0f, 40.0f};
   cfg.cifar_kappas = {0.0f, 10.0f, 20.0f, 30.0f, 50.0f};
+  if (cfg.smoke) {
+    cfg.train_count = 400;
+    cfg.val_count = 120;
+    cfg.test_count = 240;
+    cfg.classifier_epochs = 2;
+    cfg.ae_epochs = 4;
+    cfg.batch_size = 32;
+    cfg.attack_count = 16;
+    cfg.attack_iterations = 24;
+    cfg.binary_search_steps = 2;
+    cfg.wide_filters = 6;
+    cfg.mnist_kappas = {0.0f, 10.0f, 40.0f};
+    cfg.cifar_kappas = {0.0f, 20.0f, 50.0f};
+  }
   if (cfg.full) {
     cfg.train_count = 8000;
     cfg.val_count = 1000;

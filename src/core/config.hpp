@@ -21,6 +21,11 @@ const char* to_string(DatasetId id);
 
 struct ScaleConfig {
   bool full = false;
+  /// REPRO_SCALE=smoke: counts shrunk far below the fast profile so a
+  /// whole table run finishes in seconds. Used by CI's sharded-vs-
+  /// unsharded identity gate and the shard tests — curve shapes are NOT
+  /// preserved at this scale, only determinism.
+  bool smoke = false;
 
   // Synthetic dataset sizes.
   std::size_t train_count = 2500;
@@ -77,8 +82,10 @@ struct ScaleConfig {
     return id == DatasetId::Mnist ? mnist_kappas : cifar_kappas;
   }
 
-  /// Human-readable profile tag ("fast" / "full").
-  std::string tag() const { return full ? "full" : "fast"; }
+  /// Human-readable profile tag ("smoke" / "fast" / "full").
+  std::string tag() const {
+    return full ? "full" : (smoke ? "smoke" : "fast");
+  }
 
   /// FNV-1a hash over every field that changes a cached artifact
   /// (dataset sizes, training budgets, attack budgets, AE widths, seed).
@@ -93,7 +100,8 @@ struct ScaleConfig {
   std::string cache_tag() const;
 };
 
-/// Reads REPRO_SCALE (fast|full) and REPRO_CACHE_DIR from the environment.
+/// Reads REPRO_SCALE (smoke|fast|full) and REPRO_CACHE_DIR from the
+/// environment.
 ScaleConfig scale_from_env();
 
 }  // namespace adv::core

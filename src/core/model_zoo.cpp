@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/shard.hpp"
 #include "data/syn_digits.hpp"
 #include "data/syn_objects.hpp"
 #include "nn/activations.hpp"
@@ -58,6 +59,23 @@ ModelZoo::ModelZoo(ScaleConfig cfg) : cfg_(std::move(cfg)) {
 
 std::filesystem::path ModelZoo::path_for(const std::string& key) const {
   return cfg_.cache_dir / (key + ".bin");
+}
+
+std::filesystem::path ModelZoo::attack_path_for(const std::string& key) const {
+  return cfg_.cache_dir /
+         (key + shard_suffix(shard_index_, shard_count_) + ".bin");
+}
+
+void ModelZoo::set_shard(std::size_t index, std::size_t count) {
+  if (count == 0 || index >= count) {
+    throw std::invalid_argument("ModelZoo::set_shard: need index < count");
+  }
+  if (!attack_sets_.empty() || !attack_memo_.empty()) {
+    throw std::logic_error(
+        "ModelZoo::set_shard must be called before any attack runs");
+  }
+  shard_index_ = index;
+  shard_count_ = count;
 }
 
 ModelZoo::CacheLoad ModelZoo::try_load_cached(
@@ -236,6 +254,16 @@ const ModelZoo::AttackSet& ModelZoo::attack_set(DatasetId id) {
         "(wanted %zu)\n",
         chosen.size(), to_string(id), cfg_.attack_count);
   }
+  // Shard slicing happens AFTER the full-set selection so every worker
+  // sees the same candidate list; each then keeps its contiguous range.
+  // Attacks process images independently, so the per-image results are
+  // bitwise identical to the unsharded run's corresponding rows.
+  if (shard_count_ > 1) {
+    const IndexRange r = shard_range(chosen.size(), shard_index_,
+                                     shard_count_);
+    chosen = std::vector<std::size_t>(chosen.begin() + r.begin,
+                                      chosen.begin() + r.end);
+  }
   const data::Dataset subset = ds.test.filter(chosen);
   AttackSet s;
   s.images = subset.images;
@@ -243,8 +271,8 @@ const ModelZoo::AttackSet& ModelZoo::attack_set(DatasetId id) {
   return attack_sets_.emplace(id, std::move(s)).first->second;
 }
 
-void ModelZoo::store_attack(const std::filesystem::path& path,
-                            const attacks::AttackResult& r) {
+void save_attack_result(const std::filesystem::path& path,
+                        const attacks::AttackResult& r) {
   std::vector<Tensor> ts;
   ts.push_back(r.adversarial);
   const std::size_t n = r.success.size();
@@ -259,8 +287,7 @@ void ModelZoo::store_attack(const std::filesystem::path& path,
   save_tensors(path, ts);
 }
 
-attacks::AttackResult ModelZoo::load_attack(
-    const std::filesystem::path& path) {
+attacks::AttackResult load_attack_result(const std::filesystem::path& path) {
   const std::vector<Tensor> ts = load_tensors(path);
   if (ts.size() != 2 || ts[1].rank() != 2 || ts[1].dim(0) != 4) {
     throw std::runtime_error("corrupt attack cache: " + path.string());
@@ -286,16 +313,33 @@ attacks::AttackResult ModelZoo::cached_attack(
     const std::function<attacks::AttackResult()>& compute) {
   auto it = attack_memo_.find(key);
   if (it != attack_memo_.end()) return it->second;
-  const auto path = path_for(key);
+  const auto path = attack_path_for(key);
+  // A sharded worker still warm-starts from the canonical (unsharded)
+  // artifact when a prior full run produced one; slicing a full result is
+  // cheaper than recrafting and bitwise-equal by the argument above.
+  if (shard_count_ > 1 && !std::filesystem::exists(path) &&
+      std::filesystem::exists(path_for(key))) {
+    std::optional<attacks::AttackResult> full;
+    if (try_load_cached(path_for(key),
+                        [&] { full = load_attack_result(path_for(key)); }) ==
+        CacheLoad::Hit) {
+      const std::size_t total = full->success.size();
+      const IndexRange range = shard_range(total, shard_index_, shard_count_);
+      attacks::AttackResult sliced = slice_attack_result(*full, range);
+      save_attack_result(path, sliced);
+      return attack_memo_.emplace(key, std::move(sliced)).first->second;
+    }
+  }
   std::optional<attacks::AttackResult> loaded;
-  const CacheLoad cl = try_load_cached(path, [&] { loaded = load_attack(path); });
+  const CacheLoad cl =
+      try_load_cached(path, [&] { loaded = load_attack_result(path); });
   if (cl == CacheLoad::Hit) {
     return attack_memo_.emplace(key, std::move(*loaded)).first->second;
   }
   std::printf("[zoo] crafting %s ...\n", key.c_str());
   std::fflush(stdout);
   attacks::AttackResult r = compute();
-  store_attack(path, r);
+  save_attack_result(path, r);
   note_rebuilt(cl);
   return attack_memo_.emplace(key, std::move(r)).first->second;
 }
@@ -354,8 +398,9 @@ attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
     return it->second;
   }
   std::optional<attacks::AttackResult> loaded;
-  const CacheLoad cl = try_load_cached(
-      path_for(want), [&] { loaded = load_attack(path_for(want)); });
+  const CacheLoad cl = try_load_cached(attack_path_for(want), [&] {
+    loaded = load_attack_result(attack_path_for(want));
+  });
   if (cl == CacheLoad::Hit) {
     hit();
     return attack_memo_.emplace(want, std::move(*loaded)).first->second;
@@ -380,7 +425,7 @@ attacks::AttackResult ModelZoo::ead(DatasetId id, float beta, float kappa,
       attacks::ead_attack_multi(*classifier(id), s.images, s.labels, c, rules);
   scope.record_outcome(rs[0]);
   for (std::size_t i = 0; i < 2; ++i) {
-    store_attack(path_for(key(rules[i])), rs[i]);
+    save_attack_result(attack_path_for(key(rules[i])), rs[i]);
     attack_memo_[key(rules[i])] = rs[i];
   }
   note_rebuilt(cl);

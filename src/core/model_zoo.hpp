@@ -34,11 +34,30 @@ namespace adv::core {
 nn::Sequential build_classifier(DatasetId id, std::size_t image_hw,
                                 Rng& rng);
 
+/// Persists an AttackResult (adversarial tensor + per-image
+/// success/l1/l2/linf metadata) in the repo's CRC'd tensor format via
+/// tmp+rename, and reads it back. Exposed so the shard driver can merge
+/// per-shard attack artifacts into canonical cache entries without a zoo.
+void save_attack_result(const std::filesystem::path& path,
+                        const attacks::AttackResult& r);
+attacks::AttackResult load_attack_result(const std::filesystem::path& path);
+
 class ModelZoo {
  public:
   explicit ModelZoo(ScaleConfig cfg);
 
   const ScaleConfig& scale() const { return cfg_; }
+
+  /// Restricts this zoo to shard `index` of `count`: attack_set() returns
+  /// only that contiguous slice of the (full-set-selected) attack images,
+  /// and attack artifacts are cached under shard-suffixed filenames
+  /// (`<key>.shard<k>of<K>.bin`) so concurrent workers sharing one
+  /// cache_dir never collide on partial results. Models and datasets are
+  /// unaffected — every shard trains/loads the same ones. Must be called
+  /// before the first attack_set()/attack use.
+  void set_shard(std::size_t index, std::size_t count);
+  std::size_t shard_index() const { return shard_index_; }
+  std::size_t shard_count() const { return shard_count_; }
 
   struct Splits {
     data::Dataset train, val, test;
@@ -97,6 +116,9 @@ class ModelZoo {
   enum class CacheLoad { Hit, Miss, Corrupt };
 
   std::filesystem::path path_for(const std::string& key) const;
+  /// Cache path for attack artifacts: path_for(key) when unsharded, else
+  /// the shard-suffixed variant (see set_shard).
+  std::filesystem::path attack_path_for(const std::string& key) const;
   /// Runs `do_load` if `path` exists. Any load exception quarantines the
   /// file to `<path>.corrupt` (counter: fault/cache_quarantined) and
   /// returns Corrupt so the caller recomputes; callers bump
@@ -107,11 +129,10 @@ class ModelZoo {
   attacks::AttackResult cached_attack(
       const std::string& key,
       const std::function<attacks::AttackResult()>& compute);
-  static void store_attack(const std::filesystem::path& path,
-                           const attacks::AttackResult& r);
-  static attacks::AttackResult load_attack(const std::filesystem::path& path);
 
   ScaleConfig cfg_;
+  std::size_t shard_index_ = 0;
+  std::size_t shard_count_ = 1;
   std::map<DatasetId, Splits> datasets_;
   std::map<DatasetId, std::shared_ptr<nn::Sequential>> classifiers_;
   std::map<std::string, std::shared_ptr<nn::Sequential>> autoencoders_;

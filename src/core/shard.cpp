@@ -1,0 +1,829 @@
+#include "core/shard.hpp"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+
+#include "core/model_zoo.hpp"
+#include "fault/failpoint.hpp"
+#include "obs/emit.hpp"
+
+extern char** environ;
+
+namespace adv::core {
+
+namespace fs = std::filesystem;
+using Sample = obs::MetricsRegistry::Sample;
+
+IndexRange shard_range(std::size_t total, std::size_t index,
+                       std::size_t count) {
+  if (count == 0 || index >= count) {
+    throw std::invalid_argument("shard_range: need index < count");
+  }
+  return {total * index / count, total * (index + 1) / count};
+}
+
+std::string shard_suffix(std::size_t index, std::size_t count) {
+  if (count <= 1) return "";
+  return ".shard" + std::to_string(index) + "of" + std::to_string(count);
+}
+
+// --- command-line protocol --------------------------------------------
+
+namespace {
+
+std::size_t parse_size(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::runtime_error(std::string(what) + ": bad number '" + s + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Matches `--flag value` (advancing i) or `--flag=value` at argv[i].
+std::optional<std::string> flag_value(int argc, char* const* argv, int& i,
+                                      std::string_view flag) {
+  const std::string_view arg = argv[i];
+  if (arg == flag) {
+    if (i + 1 >= argc) {
+      throw std::runtime_error(std::string(flag) + " needs a value");
+    }
+    return std::string(argv[++i]);
+  }
+  if (arg.size() > flag.size() + 1 && arg.starts_with(flag) &&
+      arg[flag.size()] == '=') {
+    return std::string(arg.substr(flag.size() + 1));
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ShardArgs parse_shard_args(int argc, char* const* argv) {
+  ShardArgs out;
+  for (int i = 1; i < argc; ++i) {
+    if (const auto v = flag_value(argc, argv, i, "--shards")) {
+      out.shards = parse_size(*v, "--shards");
+      if (out.shards == 0) throw std::runtime_error("--shards must be >= 1");
+    } else if (const auto v = flag_value(argc, argv, i, "--shard")) {
+      const std::size_t slash = v->find('/');
+      if (slash == std::string::npos) {
+        throw std::runtime_error("--shard wants k/K, got '" + *v + "'");
+      }
+      out.worker_index = parse_size(v->substr(0, slash), "--shard");
+      out.worker_count = parse_size(v->substr(slash + 1), "--shard");
+      if (out.worker_count == 0 || out.worker_index >= out.worker_count) {
+        throw std::runtime_error("--shard k/K needs k < K");
+      }
+      out.is_worker = true;
+    } else if (const auto v = flag_value(argc, argv, i, "--shard-staging")) {
+      out.staging = *v;
+    } else if (std::string_view(argv[i]) == "--warm-only") {
+      out.warm_only = true;
+    } else {
+      out.passthrough.emplace_back(argv[i]);
+    }
+  }
+  if (out.is_worker && out.staging.empty()) {
+    throw std::runtime_error("--shard requires --shard-staging");
+  }
+  return out;
+}
+
+// --- metric-dump parsing and merging ----------------------------------
+
+namespace {
+
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char c = s[++i];
+    switch (c) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) {
+          throw std::runtime_error("truncated \\u escape in metric dump");
+        }
+        unsigned v = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = s[++i];
+          v <<= 4;
+          if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+          else throw std::runtime_error("bad \\u escape in metric dump");
+        }
+        if (v < 0x80) {
+          out += static_cast<char>(v);
+        } else if (v < 0x800) {
+          out += static_cast<char>(0xC0 | (v >> 6));
+          out += static_cast<char>(0x80 | (v & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (v >> 12));
+          out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (v & 0x3F));
+        }
+        break;
+      }
+      default: out += c;  // \" \\ \/ and anything else: keep the char
+    }
+  }
+  return out;
+}
+
+/// Reads the JSON string whose opening quote precedes `pos`; leaves pos
+/// just past the closing quote.
+std::string read_json_string(const std::string& text, std::size_t& pos) {
+  std::size_t i = pos;
+  bool escaped = false;
+  for (; i < text.size(); ++i) {
+    if (escaped) {
+      escaped = false;
+    } else if (text[i] == '\\') {
+      escaped = true;
+    } else if (text[i] == '"') {
+      break;
+    }
+  }
+  if (i >= text.size()) {
+    throw std::runtime_error("unterminated string in metric dump");
+  }
+  std::string out =
+      json_unescape(std::string_view(text).substr(pos, i - pos));
+  pos = i + 1;
+  return out;
+}
+
+const char* find_field(const std::string& text, std::size_t from,
+                       std::size_t limit, const char* name) {
+  const std::string pat = std::string("\"") + name + "\": ";
+  const std::size_t p = text.find(pat, from);
+  if (p == std::string::npos || p >= limit) {
+    throw std::runtime_error(std::string("metric dump missing field '") +
+                             name + "'");
+  }
+  return text.c_str() + p + pat.size();
+}
+
+std::uint64_t field_u64(const std::string& text, std::size_t from,
+                        std::size_t limit, const char* name) {
+  return std::strtoull(find_field(text, from, limit, name), nullptr, 10);
+}
+
+double field_double(const std::string& text, std::size_t from,
+                    std::size_t limit, const char* name) {
+  return std::strtod(find_field(text, from, limit, name), nullptr);
+}
+
+}  // namespace
+
+std::vector<Sample> parse_metrics_json(const std::string& text) {
+  if (text.find("\"metrics\"") == std::string::npos) {
+    throw std::runtime_error("not a metric dump (no \"metrics\" array)");
+  }
+  // Each metric is one flat object; the literal `{"key": "` can only
+  // open one (inside key strings the quotes would be escaped), and after
+  // the key string only fixed field names and numbers follow, so the
+  // next '}' closes the object.
+  static constexpr std::string_view kOpen = "{\"key\": \"";
+  std::vector<Sample> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(kOpen, pos)) != std::string::npos) {
+    std::size_t p = pos + kOpen.size();
+    Sample s;
+    s.key = read_json_string(text, p);
+    const std::size_t end = text.find('}', p);
+    if (end == std::string::npos) {
+      throw std::runtime_error("unterminated metric object");
+    }
+    std::size_t kp = text.find("\"kind\": \"", p);
+    if (kp == std::string::npos || kp >= end) {
+      throw std::runtime_error("metric object missing 'kind'");
+    }
+    kp += std::string_view("\"kind\": \"").size();
+    const std::string kind = read_json_string(text, kp);
+    if (kind == "counter") {
+      s.kind = Sample::Kind::Counter;
+      s.value = field_u64(text, kp, end, "value");
+    } else if (kind == "gauge") {
+      s.kind = Sample::Kind::Gauge;
+      s.gauge_value = field_double(text, kp, end, "value");
+    } else if (kind == "timer") {
+      s.kind = Sample::Kind::Timer;
+      s.count = field_u64(text, kp, end, "count");
+      s.total_ns = field_u64(text, kp, end, "total_ns");
+      s.min_ns = field_u64(text, kp, end, "min_ns");
+      s.max_ns = field_u64(text, kp, end, "max_ns");
+    } else {
+      throw std::runtime_error("unknown metric kind '" + kind + "'");
+    }
+    out.push_back(std::move(s));
+    pos = end;
+  }
+  return out;
+}
+
+std::vector<Sample> merge_metric_samples(
+    const std::vector<std::vector<Sample>>& parts) {
+  std::map<std::string, Sample> counters, gauges, timers;
+  for (const auto& part : parts) {
+    for (const Sample& s : part) {
+      switch (s.kind) {
+        case Sample::Kind::Counter: {
+          auto [it, fresh] = counters.try_emplace(s.key, s);
+          if (!fresh) it->second.value += s.value;
+          break;
+        }
+        case Sample::Kind::Gauge: {
+          auto [it, fresh] = gauges.try_emplace(s.key, s);
+          if (!fresh) {
+            it->second.gauge_value =
+                std::max(it->second.gauge_value, s.gauge_value);
+          }
+          break;
+        }
+        case Sample::Kind::Timer: {
+          auto [it, fresh] = timers.try_emplace(s.key, s);
+          if (!fresh) {
+            Sample& t = it->second;
+            if (s.count > 0) {  // an idle part's min/max (0) carry no info
+              t.min_ns = t.count > 0 ? std::min(t.min_ns, s.min_ns) : s.min_ns;
+              t.max_ns = std::max(t.max_ns, s.max_ns);
+            }
+            t.count += s.count;
+            t.total_ns += s.total_ns;
+          }
+          break;
+        }
+      }
+    }
+  }
+  std::vector<Sample> out;
+  out.reserve(counters.size() + gauges.size() + timers.size());
+  for (auto& [key, s] : counters) out.push_back(std::move(s));
+  for (auto& [key, s] : gauges) out.push_back(std::move(s));
+  for (auto& [key, s] : timers) out.push_back(std::move(s));
+  return out;
+}
+
+// --- attack-result slicing and merging --------------------------------
+
+attacks::AttackResult slice_attack_result(const attacks::AttackResult& r,
+                                          IndexRange range) {
+  if (range.begin > range.end || range.end > r.success.size()) {
+    throw std::invalid_argument("slice_attack_result: range out of bounds");
+  }
+  attacks::AttackResult out;
+  if (range.size() == 0) return out;
+  out.adversarial = r.adversarial.slice_rows(range.begin, range.end);
+  out.success.assign(r.success.begin() + static_cast<std::ptrdiff_t>(range.begin),
+                     r.success.begin() + static_cast<std::ptrdiff_t>(range.end));
+  const auto sub = [&](const std::vector<float>& v) {
+    return std::vector<float>(v.begin() + static_cast<std::ptrdiff_t>(range.begin),
+                              v.begin() + static_cast<std::ptrdiff_t>(range.end));
+  };
+  out.l1 = sub(r.l1);
+  out.l2 = sub(r.l2);
+  out.linf = sub(r.linf);
+  return out;
+}
+
+attacks::AttackResult merge_attack_results(
+    const std::vector<attacks::AttackResult>& parts) {
+  std::size_t total = 0;
+  const attacks::AttackResult* first = nullptr;
+  for (const auto& p : parts) {
+    total += p.success.size();
+    if (!first && !p.success.empty()) first = &p;
+  }
+  attacks::AttackResult out;
+  if (!first) return out;
+  std::vector<std::size_t> dims = first->adversarial.shape().dims();
+  dims[0] = total;
+  out.adversarial = Tensor(Shape(std::move(dims)));
+  out.success.reserve(total);
+  out.l1.reserve(total);
+  out.l2.reserve(total);
+  out.linf.reserve(total);
+  std::size_t at = 0;
+  for (const auto& p : parts) {
+    if (p.success.empty()) continue;
+    out.adversarial.set_rows(at, p.adversarial);
+    out.success.insert(out.success.end(), p.success.begin(), p.success.end());
+    out.l1.insert(out.l1.end(), p.l1.begin(), p.l1.end());
+    out.l2.insert(out.l2.end(), p.l2.begin(), p.l2.end());
+    out.linf.insert(out.linf.end(), p.linf.begin(), p.linf.end());
+    at += p.success.size();
+  }
+  return out;
+}
+
+std::size_t merge_shard_artifacts(const fs::path& cache_dir,
+                                  std::size_t shard_count) {
+  if (shard_count <= 1 || !fs::exists(cache_dir)) return 0;
+  const std::string of_tag = "of" + std::to_string(shard_count) + ".bin";
+  // key -> (shard index -> piece path)
+  std::map<std::string, std::map<std::size_t, fs::path>> groups;
+  for (const auto& entry : fs::directory_iterator(cache_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(of_tag)) continue;
+    const std::size_t mark = name.rfind(".shard");
+    if (mark == std::string::npos) continue;
+    const std::size_t idx_at = mark + std::string_view(".shard").size();
+    const std::string idx_str =
+        name.substr(idx_at, name.size() - of_tag.size() - idx_at);
+    char* end = nullptr;
+    const unsigned long long k = std::strtoull(idx_str.c_str(), &end, 10);
+    if (end == idx_str.c_str() || *end != '\0' || k >= shard_count) continue;
+    groups[name.substr(0, mark)][static_cast<std::size_t>(k)] = entry.path();
+  }
+  std::size_t merged = 0;
+  for (const auto& [key, pieces] : groups) {
+    if (pieces.size() != shard_count) {
+      std::fprintf(stderr,
+                   "[shard] %s: %zu/%zu pieces present; leaving them for a "
+                   "full-size recompute\n",
+                   key.c_str(), pieces.size(), shard_count);
+      continue;
+    }
+    std::vector<attacks::AttackResult> parts;
+    parts.reserve(shard_count);
+    bool ok = true;
+    for (std::size_t k = 0; k < shard_count && ok; ++k) {
+      try {
+        parts.push_back(load_attack_result(pieces.at(k)));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[shard] %s piece %zu unreadable (%s); skipping\n",
+                     key.c_str(), k, e.what());
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    save_attack_result(cache_dir / (key + ".bin"),
+                       merge_attack_results(parts));
+    for (const auto& [k, piece] : pieces) {
+      std::error_code ec;
+      fs::remove(piece, ec);
+    }
+    ++merged;
+  }
+  return merged;
+}
+
+// --- worker lifecycle -------------------------------------------------
+
+void enter_worker(const ShardArgs& args, ScaleConfig& cfg) {
+  // Absolutize against the driver's cwd BEFORE chdir'ing into staging —
+  // the cache is shared, the staging dir is private.
+  cfg.cache_dir = fs::absolute(cfg.cache_dir);
+  fs::create_directories(args.staging);
+  fs::current_path(args.staging);
+}
+
+void finalize_worker(const ShardArgs& args) {
+  obs::write_json("OBS_metrics.json", obs::MetricsRegistry::global(), {});
+  const std::string tag = ".shard" + std::to_string(args.worker_index);
+  std::vector<fs::path> dumps;
+  for (const auto& entry : fs::directory_iterator(fs::current_path())) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(".json")) continue;
+    if (!name.starts_with("BENCH_") && !name.starts_with("OBS_")) continue;
+    if (name.find(".shard") != std::string::npos) continue;
+    dumps.push_back(entry.path());
+  }
+  for (const fs::path& p : dumps) {
+    fs::path renamed = p;
+    renamed.replace_extension();  // strip .json
+    renamed += tag + ".json";
+    std::error_code ec;
+    fs::rename(p, renamed, ec);
+  }
+}
+
+// --- driver -----------------------------------------------------------
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t timeval_ns(const timeval& tv) {
+  return static_cast<std::uint64_t>(tv.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(tv.tv_usec) * 1'000ull;
+}
+
+int decode_status(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 126;
+}
+
+/// Environment block for workers, built before any fork (building it
+/// after fork would not be async-signal-safe): a copy of environ, with
+/// ADV_THREADS defaulted to max(1, cores/shards) when absent so K
+/// workers share the machine instead of oversubscribing it K-fold. An
+/// explicit ADV_THREADS (e.g. CI's =1) always wins.
+struct WorkerEnv {
+  std::vector<std::string> store;
+  std::vector<char*> ptrs;
+
+  explicit WorkerEnv(std::size_t shards) {
+    bool pinned = false;
+    for (char** e = environ; e && *e; ++e) {
+      store.emplace_back(*e);
+      if (store.back().starts_with("ADV_THREADS=")) pinned = true;
+    }
+    if (!pinned) {
+      const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+      const unsigned per = std::max<unsigned>(
+          1, hw / static_cast<unsigned>(std::max<std::size_t>(1, shards)));
+      store.push_back("ADV_THREADS=" + std::to_string(per));
+    }
+    ptrs.reserve(store.size() + 1);
+    for (auto& s : store) ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+  }
+};
+
+/// fork+execve with stdout/stderr optionally redirected to `log_path`.
+/// Only async-signal-safe calls happen between fork and execve — the
+/// parent is multi-threaded (ThreadPool) by the time the driver runs.
+pid_t spawn(const std::vector<std::string>& argv_strs, char* const* envp,
+            const fs::path& log_path) {
+  std::vector<char*> argv;
+  argv.reserve(argv_strs.size() + 1);
+  for (const auto& s : argv_strs) argv.push_back(const_cast<char*>(s.c_str()));
+  argv.push_back(nullptr);
+  const int log_fd =
+      log_path.empty()
+          ? -1
+          : ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+    }
+    ::execve(argv[0], argv.data(), const_cast<char* const*>(envp));
+    ::_exit(127);
+  }
+  if (log_fd >= 0) ::close(log_fd);
+  return pid;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (!f) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long n = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(n > 0 ? static_cast<std::size_t>(n) : 0);
+  const std::size_t got = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  out.resize(got);
+  return true;
+}
+
+/// tmp+rename publish, so a reader never sees a half-written dump.
+bool publish_file(const fs::path& path, const std::string& text) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "[shard] cannot write %s\n", tmp.string().c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::fprintf(stderr, "[shard] cannot publish %s: %s\n",
+                 path.string().c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Groups staged `<name>.shard<k>.json` dumps by canonical name, merges
+/// each group and publishes the result at the driver's cwd (overwriting
+/// whatever the replay wrote under the same name — the replay's numbers
+/// describe cache-hit re-reads, the workers' describe the real crafting).
+void merge_staged_dumps(const ShardReport& rep) {
+  std::map<std::string, std::vector<std::string>> groups;
+  for (const ShardOutcome& o : rep.shards) {
+    const std::string tag = ".shard" + std::to_string(o.index) + ".json";
+    if (!fs::exists(o.staging)) continue;
+    for (const auto& entry : fs::directory_iterator(o.staging)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (!name.ends_with(tag)) continue;
+      std::string text;
+      if (!read_file(entry.path(), text)) continue;
+      const std::string canonical =
+          name.substr(0, name.size() - tag.size()) + ".json";
+      groups[canonical].push_back(std::move(text));
+    }
+  }
+  for (const auto& [name, texts] : groups) {
+    std::vector<std::vector<Sample>> parts;
+    parts.reserve(texts.size());
+    try {
+      for (const std::string& t : texts) parts.push_back(parse_metrics_json(t));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[shard] cannot merge %s: %s\n", name.c_str(),
+                   e.what());
+      continue;
+    }
+    if (publish_file(name, obs::samples_to_json(merge_metric_samples(parts)))) {
+      std::printf("[shard] merged %zu shard dump(s) -> %s\n", texts.size(),
+                  name.c_str());
+    }
+  }
+}
+
+std::string fmt_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void write_shard_bench(const DriverOptions& opts, const ShardReport& rep) {
+  char buf[64];
+  std::string j = "{\n";
+  j += "  \"bench\": \"" + opts.bench_name + "\",\n";
+  j += "  \"shards\": " + std::to_string(rep.shards.size()) + ",\n";
+  j += "  \"launched\": " + std::to_string(rep.launched) + ",\n";
+  j += "  \"retried\": " + std::to_string(rep.retried) + ",\n";
+  j += "  \"failed\": " + std::to_string(rep.failed) + ",\n";
+  j += "  \"phase_wall_ms\": " + fmt_ms(rep.phase_wall_ns) + ",\n";
+  j += "  \"total_cpu_ms\": " + fmt_ms(rep.total_cpu_ns) + ",\n";
+  std::snprintf(buf, sizeof(buf), "%.3f", rep.speedup());
+  j += std::string("  \"speedup\": ") + buf + ",\n";
+  j += "  \"per_shard\": [\n";
+  for (std::size_t k = 0; k < rep.shards.size(); ++k) {
+    const ShardOutcome& o = rep.shards[k];
+    j += "    {\"index\": " + std::to_string(o.index) +
+         ", \"exit_status\": " + std::to_string(o.exit_status) +
+         ", \"attempts\": " + std::to_string(o.attempts) +
+         ", \"wall_ms\": " + fmt_ms(o.wall_ns) +
+         ", \"cpu_ms\": " + fmt_ms(o.cpu_ns) + ", \"log\": \"" +
+         o.log.string() + "\"}";
+    j += (k + 1 < rep.shards.size()) ? ",\n" : "\n";
+  }
+  j += "  ]\n}\n";
+  if (publish_file("BENCH_shard.json", j)) {
+    std::printf("wrote BENCH_shard.json\n");
+  }
+}
+
+}  // namespace
+
+double ShardReport::speedup() const {
+  if (phase_wall_ns == 0) return 0.0;
+  return static_cast<double>(total_cpu_ns) /
+         static_cast<double>(phase_wall_ns);
+}
+
+int run_command(const std::vector<std::string>& argv) {
+  if (argv.empty()) return 127;
+  const pid_t pid = spawn(argv, environ, {});
+  if (pid < 0) return 127;
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return 127;
+  }
+  return decode_status(status);
+}
+
+ShardReport run_shard_driver(const DriverOptions& opts) {
+  if (opts.command.empty()) {
+    throw std::invalid_argument("run_shard_driver: empty worker command");
+  }
+  const std::size_t count = std::max<std::size_t>(1, opts.shards);
+  const fs::path root = opts.staging_root.empty()
+                            ? fs::path("shard_staging") / opts.bench_name
+                            : opts.staging_root;
+
+  ShardReport rep;
+  rep.shards.resize(count);
+
+  const WorkerEnv env(count);
+  std::map<pid_t, std::size_t> live;  // pid -> shard index
+  std::vector<std::uint64_t> spawned_at(count, 0);
+
+  const auto launch = [&](std::size_t k) {
+    ShardOutcome& o = rep.shards[k];
+    o.index = k;
+    o.staging = root / ("shard" + std::to_string(k));
+    o.log = o.staging / "log.txt";
+    std::error_code ec;
+    fs::remove_all(o.staging, ec);  // fresh staging per attempt
+    fs::create_directories(o.staging);
+    std::vector<std::string> argv = opts.command;
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(k) + "/" + std::to_string(count));
+    argv.push_back("--shard-staging");
+    argv.push_back(fs::absolute(o.staging).string());
+    ++o.attempts;
+    ++rep.launched;
+    const pid_t pid = spawn(argv, env.ptrs.data(), o.log);
+    if (pid < 0) {
+      o.exit_status = 127;
+      return;
+    }
+    spawned_at[k] = now_ns();
+    live[pid] = k;
+  };
+
+  const auto reap_all = [&] {
+    while (!live.empty()) {
+      struct rusage ru {};
+      int status = 0;
+      const pid_t pid = ::wait4(-1, &status, 0, &ru);
+      if (pid < 0) {
+        if (errno == EINTR) continue;
+        break;  // ECHILD: nothing of ours left
+      }
+      const auto it = live.find(pid);
+      if (it == live.end()) continue;  // some other child of this process
+      ShardOutcome& o = rep.shards[it->second];
+      o.exit_status = decode_status(status);
+      o.wall_ns = now_ns() - spawned_at[it->second];
+      o.cpu_ns += timeval_ns(ru.ru_utime) + timeval_ns(ru.ru_stime);
+      live.erase(it);
+    }
+  };
+
+  const std::uint64_t phase_start = now_ns();
+  for (std::size_t k = 0; k < count; ++k) launch(k);
+  reap_all();
+  for (std::size_t k = 0; k < count; ++k) {
+    if (rep.shards[k].ok()) continue;
+    std::fprintf(stderr,
+                 "[shard] %s worker %zu failed (status %d); retrying once "
+                 "(log: %s)\n",
+                 opts.bench_name.c_str(), k, rep.shards[k].exit_status,
+                 rep.shards[k].log.string().c_str());
+    ++rep.retried;
+    launch(k);
+  }
+  reap_all();
+  rep.phase_wall_ns = now_ns() - phase_start;
+  for (const ShardOutcome& o : rep.shards) {
+    rep.total_cpu_ns += o.cpu_ns;
+    if (!o.ok()) {
+      ++rep.failed;
+      std::fprintf(stderr,
+                   "[shard] %s worker %zu failed twice (status %d); merging "
+                   "the surviving shards (log: %s)\n",
+                   opts.bench_name.c_str(), o.index, o.exit_status,
+                   o.log.string().c_str());
+    }
+  }
+
+  // Crash accounting is rare and serious — record it unconditionally,
+  // like the cache self-healing counters (add(0) just registers the key).
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("shard/launched").add(rep.launched);
+  reg.counter("shard/retried").add(rep.retried);
+  reg.counter("shard/failed").add(rep.failed);
+
+  // Handoff order matters: publish merged artifacts into the canonical
+  // cache keys FIRST so the replay below is a pure cache-hit pass, then
+  // let the merged worker dumps overwrite the replay's metric files.
+  if (!opts.cache_dir.empty()) {
+    const std::size_t merged = merge_shard_artifacts(opts.cache_dir, count);
+    if (merged) {
+      std::printf("[shard] merged %zu attack artifact group(s) into the "
+                  "canonical cache\n",
+                  merged);
+    }
+  }
+  if (opts.replay) opts.replay();
+  merge_staged_dumps(rep);
+  write_shard_bench(opts, rep);
+  std::printf(
+      "[shard] %s: %zu shard(s), %zu retried, %zu failed; worker cpu %.1fs "
+      "over %.1fs wall -> speedup %.2fx\n",
+      opts.bench_name.c_str(), count, rep.retried, rep.failed,
+      static_cast<double>(rep.total_cpu_ns) / 1e9,
+      static_cast<double>(rep.phase_wall_ns) / 1e9, rep.speedup());
+  return rep;
+}
+
+// --- one-call bench wiring --------------------------------------------
+
+namespace {
+
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 ? argv0 : "";
+}
+
+}  // namespace
+
+int shard_main(int argc, char* const* argv, const ShardedBench& bench) {
+  ShardArgs args;
+  try {
+    args = parse_shard_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", bench.name.c_str(), e.what());
+    return 2;
+  }
+  ScaleConfig cfg = scale_from_env();
+
+  if (args.is_worker) {
+    // Deterministic crash injection for the retry/report tests.
+    if (fault::check("shard.worker") != fault::Action::None ||
+        fault::check("shard.worker." + std::to_string(args.worker_index)) !=
+            fault::Action::None) {
+      std::fprintf(stderr, "[shard] worker %zu/%zu: injected failpoint crash\n",
+                   args.worker_index, args.worker_count);
+      return 42;
+    }
+    enter_worker(args, cfg);
+    ModelZoo zoo(cfg);
+    zoo.set_shard(args.worker_index, args.worker_count);
+    bench.body(zoo);
+    finalize_worker(args);
+    return 0;
+  }
+
+  if (args.warm_only) {
+    ModelZoo zoo(cfg);
+    if (bench.warm) bench.warm(zoo);
+    else bench.body(zoo);
+    return 0;
+  }
+
+  if (args.shards <= 1) {
+    ModelZoo zoo(cfg);
+    bench.body(zoo);
+    return 0;
+  }
+
+  // Driver. Train/publish shared models through the cache exactly once
+  // (workers would otherwise race to train the same classifier K times),
+  // then fan out, merge, and replay.
+  std::printf("[shard] %s: warming the shared model cache before a %zu-way "
+              "fan-out\n",
+              bench.name.c_str(), args.shards);
+  std::fflush(stdout);
+  {
+    ModelZoo zoo(cfg);
+    if (bench.warm) bench.warm(zoo);
+    else bench.body(zoo);
+  }
+
+  DriverOptions o;
+  o.bench_name = bench.name;
+  o.shards = args.shards;
+  o.command.push_back(self_exe(argc > 0 ? argv[0] : nullptr));
+  o.command.insert(o.command.end(), args.passthrough.begin(),
+                   args.passthrough.end());
+  if (!args.staging.empty()) o.staging_root = args.staging;
+  o.cache_dir = cfg.cache_dir;
+  o.replay = [&bench, &cfg] {
+    ModelZoo zoo(cfg);
+    bench.body(zoo);
+  };
+  const ShardReport rep = run_shard_driver(o);
+  return rep.all_ok() ? 0 : 1;
+}
+
+}  // namespace adv::core

@@ -1,0 +1,219 @@
+// adv::shard — process-level fan-out for the attack benches.
+//
+// A bench binary wired through shard_main() can split its attack-image
+// set into K contiguous shards and run them in K worker processes (the
+// binary re-invokes itself with `--shard k/K`). Each worker runs the
+// existing single-process attack path end to end against its slice,
+// writing every output (BENCH_*.json metric dumps, adversarial-example
+// artifacts) into a private staging directory; the driver then merges
+// the pieces deterministically:
+//
+//   * attack artifacts (`<key>.shard<k>of<K>.bin` in the shared cache)
+//     are concatenated in shard order into the canonical `<key>.bin`,
+//     bitwise identical to an unsharded run — attacks here have no RNG
+//     and process images independently (per-row GEMM/conv/softmax, a
+//     per-image binary search), so slicing the image set preserves each
+//     per-image trajectory exactly;
+//   * metric dumps merge by key: counters sum, gauges keep the max,
+//     timers sum count/total and combine min/max;
+//   * derived outputs (printed tables, bench_results CSVs) cannot be
+//     merged from partial aggregates, so the driver *replays* the bench
+//     body in-process after the artifact merge — every attack is a cache
+//     hit, so the replay costs seconds, not the sweep.
+//
+// Workers warm-start from the shared ModelZoo cache: the driver trains
+// and publishes models once (through the existing CRC'd v2 cache format,
+// keyed by ScaleConfig::cache_tag()) before fanning out, so workers only
+// craft attacks. A worker that exits nonzero or dies on a signal is
+// retried once with fresh staging; a second failure is reported per
+// shard (counters shard/launched, shard/retried, shard/failed) and the
+// merge proceeds with the surviving shards. See DESIGN.md §12.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attacks/common.hpp"
+#include "core/config.hpp"
+#include "obs/metrics.hpp"
+
+namespace adv::core {
+
+class ModelZoo;
+
+/// Half-open slice [begin, end) of a leading dimension.
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Contiguous shard `index` of `count` over `total` items:
+/// [total*k/K, total*(k+1)/K). The ranges tile [0, total) exactly and
+/// differ in size by at most one. Throws std::invalid_argument unless
+/// index < count.
+IndexRange shard_range(std::size_t total, std::size_t index,
+                       std::size_t count);
+
+/// ".shard<k>of<K>" when count > 1, "" otherwise — the filename infix
+/// that keeps per-shard attack artifacts from colliding in a shared
+/// cache directory.
+std::string shard_suffix(std::size_t index, std::size_t count);
+
+// --- command-line protocol --------------------------------------------
+
+/// Sharding arguments recognized by every shard-aware binary:
+///   --shards N            driver mode: fan out into N workers (1 = run
+///                         the body in-process, today's path)
+///   --shard k/K           worker mode (driver-internal): run slice k
+///   --shard-staging DIR   worker: private output dir (driver: staging
+///                         root for all workers)
+///   --warm-only           train/publish shared models, then exit
+/// Anything unrecognized lands in `passthrough` (in order) and is
+/// forwarded verbatim to workers.
+struct ShardArgs {
+  std::size_t shards = 1;
+  bool is_worker = false;
+  std::size_t worker_index = 0;
+  std::size_t worker_count = 1;
+  bool warm_only = false;
+  std::filesystem::path staging;
+  std::vector<std::string> passthrough;
+};
+
+/// Parses argv (both `--flag value` and `--flag=value` forms). Throws
+/// std::runtime_error on a malformed value.
+ShardArgs parse_shard_args(int argc, char* const* argv);
+
+// --- merge primitives (pure; unit-tested in shard_test) ---------------
+
+/// Parses a metric dump written by obs::to_json / obs::samples_to_json
+/// back into samples, undoing JSON key escaping. Throws
+/// std::runtime_error on malformed input.
+std::vector<obs::MetricsRegistry::Sample> parse_metrics_json(
+    const std::string& text);
+
+/// Merges per-shard snapshots by key: counters sum; gauges keep the
+/// maximum; timers sum count and total_ns, take the min over parts that
+/// recorded anything and the max overall. Output is in the registry's
+/// stable order (counters, gauges, timers; each sorted by key), so
+/// re-emitting through obs::samples_to_json yields a dump
+/// byte-compatible with a worker-written one.
+std::vector<obs::MetricsRegistry::Sample> merge_metric_samples(
+    const std::vector<std::vector<obs::MetricsRegistry::Sample>>& parts);
+
+/// Rows [range.begin, range.end) of an attack result.
+attacks::AttackResult slice_attack_result(const attacks::AttackResult& r,
+                                          IndexRange range);
+
+/// Concatenates per-shard results in the given order. Inverse of
+/// slicing: merging the shard_range slices of a result reproduces it
+/// bitwise.
+attacks::AttackResult merge_attack_results(
+    const std::vector<attacks::AttackResult>& parts);
+
+/// Scans `cache_dir` for complete groups of `<key>.shard<k>of<K>.bin`
+/// attack artifacts (K == shard_count), merges each into the canonical
+/// `<key>.bin` and removes the pieces. Incomplete groups (a shard died)
+/// are left in place and skipped — the replay recomputes those tags at
+/// full size instead. Returns the number of groups merged.
+std::size_t merge_shard_artifacts(const std::filesystem::path& cache_dir,
+                                  std::size_t shard_count);
+
+// --- worker lifecycle -------------------------------------------------
+
+/// Worker-side setup: absolutizes cfg.cache_dir (workers share the
+/// driver's cache), creates args.staging and chdirs into it, so every
+/// relative output the bench body writes lands in the staging dir.
+void enter_worker(const ShardArgs& args, ScaleConfig& cfg);
+
+/// Worker-side teardown: dumps the full metrics registry to
+/// OBS_metrics.json, then renames every BENCH_*.json / OBS_*.json in the
+/// staging dir to `<stem>.shard<k>.json` so the driver can group dumps
+/// by canonical name.
+void finalize_worker(const ShardArgs& args);
+
+// --- driver -----------------------------------------------------------
+
+struct ShardOutcome {
+  std::size_t index = 0;
+  /// 0 on success; the worker's exit code, or 128+signo if it died on a
+  /// signal, or 127 if it could not be spawned.
+  int exit_status = 0;
+  std::size_t attempts = 0;
+  std::uint64_t wall_ns = 0;  // last attempt, spawn -> reap
+  std::uint64_t cpu_ns = 0;   // user+system over all attempts
+  std::filesystem::path staging;
+  std::filesystem::path log;
+  bool ok() const { return exit_status == 0; }
+};
+
+struct ShardReport {
+  std::vector<ShardOutcome> shards;
+  std::uint64_t phase_wall_ns = 0;  // first spawn -> last reap (w/ retries)
+  std::uint64_t total_cpu_ns = 0;   // all workers, all attempts
+  std::size_t launched = 0;
+  std::size_t retried = 0;
+  std::size_t failed = 0;
+  /// Aggregate worker CPU time over driver wall time for the worker
+  /// phase — an honest parallel-efficiency measure even on few-core
+  /// hosts (a wall-time-sum ratio would flatter oversubscribed runs).
+  double speedup() const;
+  bool all_ok() const { return failed == 0; }
+};
+
+struct DriverOptions {
+  std::string bench_name;  // used in BENCH_shard.json and log lines
+  std::size_t shards = 2;
+  /// Worker command line: resolved executable path + passthrough args.
+  /// The driver appends `--shard k/K --shard-staging <dir>` per worker.
+  std::vector<std::string> command;
+  /// Root for per-worker staging dirs (<root>/shard<k>); defaults to
+  /// "shard_staging/<bench_name>" under the cwd.
+  std::filesystem::path staging_root;
+  /// Shared artifact cache to merge `.shard<k>of<K>.bin` pieces in;
+  /// empty skips the artifact merge.
+  std::filesystem::path cache_dir;
+  /// Regenerates canonical derived outputs (printed tables, CSVs) after
+  /// the artifact merge — run with all attacks cache-hot. May be empty.
+  std::function<void()> replay;
+};
+
+/// Runs the fan-out: spawn K workers, reap with per-child rusage, retry
+/// failures once, merge artifacts, replay, merge metric dumps, and write
+/// BENCH_shard.json. Workers inherit the environment with ADV_THREADS
+/// defaulted to max(1, cores/K) unless already set (an explicit pin —
+/// e.g. CI's ADV_THREADS=1 — always wins).
+ShardReport run_shard_driver(const DriverOptions& opts);
+
+/// Runs `argv` as a child process sharing this process's stdio; returns
+/// its exit status decoded as in ShardOutcome::exit_status.
+int run_command(const std::vector<std::string>& argv);
+
+// --- one-call bench wiring --------------------------------------------
+
+/// A bench split into the phase every shard shares (training/publishing
+/// models) and the full body (attacks + tables + BENCH dumps).
+struct ShardedBench {
+  std::string name;
+  /// Trains/publishes every model the body needs, through the ModelZoo
+  /// cache. Empty = warm by running the body.
+  std::function<void(ModelZoo&)> warm;
+  std::function<void(ModelZoo&)> body;
+};
+
+/// The shared main() of every shard-aware bench:
+///   no shard flags / --shards 1   run body in-process (today's path)
+///   --warm-only                   run warm (or body) and exit
+///   --shard k/K                   worker: staged body over slice k
+///   --shards N                    driver: warm, fan out N workers,
+///                                 merge, replay
+/// Returns the process exit code. Failpoint sites "shard.worker" and
+/// "shard.worker.<k>" make a worker exit 42 before doing any work (the
+/// crash-retry tests arm them via ADV_FAULT).
+int shard_main(int argc, char* const* argv, const ShardedBench& bench);
+
+}  // namespace adv::core

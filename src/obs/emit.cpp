@@ -48,10 +48,10 @@ bool write_file(const std::filesystem::path& path, const std::string& text) {
 
 }  // namespace
 
-std::string to_json(const MetricsRegistry& registry, std::string_view prefix) {
+std::string samples_to_json(const std::vector<Sample>& samples) {
   std::string out = "{\n  \"unit\": \"ns\",\n  \"metrics\": [\n";
   bool first = true;
-  for (const Sample& s : registry.snapshot(prefix)) {
+  for (const Sample& s : samples) {
     if (!first) out += ",\n";
     first = false;
     out += "    {\"key\": \"" + escape(s.key) + "\", ";
@@ -78,6 +78,10 @@ std::string to_json(const MetricsRegistry& registry, std::string_view prefix) {
   return out;
 }
 
+std::string to_json(const MetricsRegistry& registry, std::string_view prefix) {
+  return samples_to_json(registry.snapshot(prefix));
+}
+
 bool write_json(const std::filesystem::path& path,
                 const MetricsRegistry& registry, std::string_view prefix) {
   return write_file(path, to_json(registry, prefix));
@@ -87,10 +91,25 @@ bool write_json(const std::filesystem::path& path, std::string_view prefix) {
   return write_json(path, MetricsRegistry::global(), prefix);
 }
 
+namespace {
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string to_csv(const MetricsRegistry& registry, std::string_view prefix) {
   std::string out = "key,kind,value,count,total_ns,min_ns,max_ns\n";
   for (const Sample& s : registry.snapshot(prefix)) {
-    out += s.key;
+    out += csv_field(s.key);
     switch (s.kind) {
       case Sample::Kind::Counter:
         out += ",counter," + std::to_string(s.value) + ",,,,";

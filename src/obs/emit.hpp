@@ -17,8 +17,18 @@ namespace adv::obs {
 ///    "timer", ...}, ... ]}
 /// Counters carry "value"; gauges carry "value" (double); timers carry
 /// "count", "total_ns", "min_ns", "max_ns", "mean_ns".
+/// Metric keys are JSON-escaped (quotes, backslashes, control characters
+/// — keys may embed attack tags or filesystem paths) and emitted in the
+/// registry's stable order (counters, gauges, timers; each sorted by
+/// key), so dumps of equivalent registries diff cleanly.
 std::string to_json(const MetricsRegistry& registry,
                     std::string_view prefix = {});
+
+/// Serializes an explicit sample list in the same format as to_json, in
+/// the order given. The shard merge stage uses this to re-emit merged
+/// dumps byte-compatible with worker-written ones.
+std::string samples_to_json(
+    const std::vector<MetricsRegistry::Sample>& samples);
 
 /// Writes to_json(registry, prefix) to `path`. Returns false (and prints
 /// to stderr) if the file cannot be written.
@@ -30,7 +40,8 @@ bool write_json(const std::filesystem::path& path,
                 std::string_view prefix = {});
 
 /// CSV with header key,kind,value,count,total_ns,min_ns,max_ns — one row
-/// per metric; the columns a kind does not define are empty.
+/// per metric; the columns a kind does not define are empty. Keys
+/// containing a comma, quote or newline are double-quoted (RFC 4180).
 std::string to_csv(const MetricsRegistry& registry,
                    std::string_view prefix = {});
 

@@ -150,14 +150,23 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
+unsigned ThreadPool::env_thread_override() {
+  if (const char* env = std::getenv("ADV_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
+unsigned ThreadPool::default_thread_count() {
+  if (const unsigned v = env_thread_override()) return v;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("ADV_THREADS")) {
-      const int v = std::atoi(env);
-      if (v > 0) return static_cast<unsigned>(v);
-    }
-    return 0u;
-  }());
+  static ThreadPool pool(default_thread_count());
   return pool;
 }
 

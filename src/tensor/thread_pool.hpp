@@ -62,9 +62,22 @@ class ThreadPool {
     return scratch_.at(chunk);
   }
 
-  /// Process-wide pool, created on first use. Thread count can be pinned
-  /// with the ADV_THREADS environment variable.
+  /// Process-wide pool, created on first use with default_thread_count()
+  /// threads. Thread count can be pinned with the ADV_THREADS environment
+  /// variable (CI and shard workers use it to budget cores without code
+  /// changes).
   static ThreadPool& global();
+
+  /// Thread count the global pool is created with: the ADV_THREADS
+  /// environment variable when set to a positive integer (it takes
+  /// precedence over the detected core count), else
+  /// std::thread::hardware_concurrency(), else 1.
+  static unsigned default_thread_count();
+
+  /// The ADV_THREADS override alone: a positive integer when the variable
+  /// is set and valid, 0 when unset or malformed. Split out so tests and
+  /// the shard driver can evaluate the policy without building a pool.
+  static unsigned env_thread_override();
 
  private:
   struct Task {

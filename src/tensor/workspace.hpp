@@ -1,12 +1,20 @@
-// Workspace: an arena of reusable Tensor buffers keyed by element count.
+// Workspace: an arena of reusable Tensor buffers keyed by shape.
 //
 // Iterative attacks drive thousands of forward/backward passes through the
 // same architecture with identical batch shapes; without reuse every layer
 // allocates (and the allocator zero-fills) a fresh activation tensor per
 // pass. A Workspace recycles that storage: release() steals a dead
-// tensor's buffer into a size-keyed free list, acquire() hands it back out
-// for the next pass. One Workspace per model (Sequential owns one and
+// tensor's buffer into a shape-keyed free list, acquire() hands it back
+// out for the next pass. One Workspace per model (Sequential owns one and
 // shares it with its layers), so buffer lifetime is bounded by the model's.
+//
+// Free lists are keyed by the full dims vector (not element count): a
+// trainer alternates full and partial batches and multi-model pipelines
+// interleave several fixed shapes, and shape keys keep each population
+// separate so trim() can drop the cold ones. The pool tracks the bytes it
+// holds and their high-water mark; trim(frac) releases buffers (largest
+// shapes first) until the pool holds at most frac * high-water bytes, so
+// long training runs do not pin peak-batch memory forever.
 //
 // Aliasing rules (see DESIGN.md §11):
 //   * acquire() transfers ownership OUT of the arena — two live acquires
@@ -18,9 +26,9 @@
 //   * release() of an empty tensor is a no-op; releasing the same storage
 //     twice is impossible by construction (release takes by value).
 //
-// Thread safety: acquire/release take a mutex, so layers may grab per-chunk
-// scratch from inside ThreadPool tasks. Calls are per-layer-pass (not
-// per-element); contention is negligible.
+// Thread safety: acquire/release/trim take a mutex, so layers may grab
+// per-chunk scratch from inside ThreadPool tasks. Calls are per-layer-pass
+// (not per-element); contention is negligible.
 #pragma once
 
 #include <cstdint>
@@ -39,8 +47,8 @@ class Workspace {
   Workspace& operator=(const Workspace&) = delete;
 
   /// Returns a tensor of `shape`, recycling pooled storage of the same
-  /// element count when available. Contents are unspecified unless
-  /// `zeroed` (callers that accumulate into the buffer need zeros).
+  /// shape when available. Contents are unspecified unless `zeroed`
+  /// (callers that accumulate into the buffer need zeros).
   Tensor acquire(const Shape& shape, bool zeroed = false);
 
   /// Returns a tensor's storage to the pool. Disabled workspaces (and
@@ -53,8 +61,19 @@ class Workspace {
   void set_enabled(bool on);
   bool enabled() const;
 
-  /// Drops every pooled buffer (keeps the enabled flag).
+  /// Drops every pooled buffer (keeps the enabled flag and the reuse
+  /// statistics; the high-water mark resets to zero).
   void clear();
+
+  /// Frees pooled buffers — largest shapes first — until the pool holds at
+  /// most `high_water_frac` of its high-water byte count, then resets the
+  /// high-water mark to the trimmed level. trim(0.0) empties the pool;
+  /// trim(1.0) only resets the mark. The trainer calls this between
+  /// epochs so a peak-batch spike (or a retired partial-batch shape) is
+  /// returned to the allocator instead of being pinned for the whole run.
+  /// Pool on/off bitwise identity is unaffected: a trimmed buffer is
+  /// simply re-allocated (and zeroed on demand) on the next acquire.
+  void trim(double high_water_frac);
 
   // --- statistics (monotonic over the workspace lifetime) ---------------
   /// Number of acquire() calls served from the pool.
@@ -67,19 +86,37 @@ class Workspace {
   std::uint64_t bytes_reused() const;
   /// Buffers currently parked in the pool.
   std::size_t pooled_buffers() const;
+  /// Bytes currently parked in the pool.
+  std::uint64_t pooled_bytes() const;
+  /// Largest pooled_bytes() observed since construction / last trim.
+  std::uint64_t high_water_bytes() const;
 
  private:
-  // Free lists keyed by element count: a [8,16,14,14] buffer can serve a
-  // later [8,3136] request — shapes are reapplied on acquire. Each list is
-  // capped so a one-off giant pass cannot pin memory forever.
-  static constexpr std::size_t kMaxPooledPerSize = 16;
+  // Each per-shape list is capped so a one-off giant pass cannot pin
+  // memory forever even between trims.
+  static constexpr std::size_t kMaxPooledPerShape = 16;
+
+  struct DimsHash {
+    std::size_t operator()(const std::vector<std::size_t>& dims) const {
+      std::uint64_t h = 0xCBF2'9CE4'8422'2325ull;  // FNV-1a
+      for (const std::size_t d : dims) {
+        h ^= static_cast<std::uint64_t>(d);
+        h *= 0x0000'0100'0000'01B3ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
 
   mutable std::mutex mutex_;
   bool enabled_ = true;
-  std::unordered_map<std::size_t, std::vector<std::vector<float>>> free_;
+  std::unordered_map<std::vector<std::size_t>, std::vector<std::vector<float>>,
+                     DimsHash>
+      free_;
   std::uint64_t reuses_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t bytes_reused_ = 0;
+  std::uint64_t pooled_bytes_ = 0;
+  std::uint64_t high_water_bytes_ = 0;
 };
 
 }  // namespace adv

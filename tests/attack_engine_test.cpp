@@ -277,20 +277,68 @@ TEST(WorkspaceArena, RecyclesBuffersAndTracksStats) {
   a.fill(7.0f);
   ws.release(std::move(a));
   EXPECT_EQ(ws.pooled_buffers(), 1u);
+  EXPECT_EQ(ws.pooled_bytes(), 6u * sizeof(float));
 
-  // Same numel, different shape: reuse is keyed on element count and the
-  // requested shape is applied on the way out.
+  // Pooling is keyed on the full dims vector: a [3, 2] request must NOT
+  // be served by the parked [2, 3] buffer even though numel matches.
   Tensor b = ws.acquire(Shape({3, 2}));
   EXPECT_EQ(b.shape(), Shape({3, 2}));
-  EXPECT_EQ(ws.reuses(), 1u);
-  EXPECT_FLOAT_EQ(b[0], 7.0f);  // non-zeroed reuse keeps old bytes
+  EXPECT_EQ(ws.reuses(), 0u);
+  EXPECT_EQ(ws.misses(), 2u);
   ws.release(std::move(b));
+  EXPECT_EQ(ws.pooled_buffers(), 2u);
+
+  // A same-shape request is a reuse and keeps the old bytes when not
+  // zeroed.
+  Tensor c = ws.acquire(Shape({2, 3}));
+  EXPECT_EQ(ws.reuses(), 1u);
+  EXPECT_FLOAT_EQ(c[0], 7.0f);
+  c.fill(9.0f);
+  ws.release(std::move(c));
 
   // zeroed=true must scrub recycled contents.
-  Tensor z = ws.acquire(Shape({6}), /*zeroed=*/true);
+  Tensor z = ws.acquire(Shape({2, 3}), /*zeroed=*/true);
+  EXPECT_EQ(ws.reuses(), 2u);
   for (std::size_t i = 0; i < z.numel(); ++i) {
     ASSERT_FLOAT_EQ(z[i], 0.0f) << i;
   }
+}
+
+TEST(WorkspaceArena, TrimFreesLargestShapesFirstAndResetsHighWater) {
+  Workspace ws;
+  // Park one big and two small buffers: 1000, 10, 10 floats.
+  ws.release(ws.acquire(Shape({1000})));
+  ws.release(ws.acquire(Shape({10})));
+  ws.release(ws.acquire(Shape({2, 5})));
+  const std::uint64_t full = (1000 + 10 + 10) * sizeof(float);
+  EXPECT_EQ(ws.pooled_bytes(), full);
+  EXPECT_EQ(ws.high_water_bytes(), full);
+
+  // Trimming to half the high-water mark must evict the big buffer (the
+  // largest shape goes first) and keep both small ones.
+  ws.trim(0.5);
+  EXPECT_EQ(ws.pooled_bytes(), 20u * sizeof(float));
+  EXPECT_EQ(ws.pooled_buffers(), 2u);
+  // ... and the mark resets to the trimmed level.
+  EXPECT_EQ(ws.high_water_bytes(), 20u * sizeof(float));
+
+  // trim(0) empties the pool; subsequent acquires still work (plain
+  // allocation miss).
+  ws.trim(0.0);
+  EXPECT_EQ(ws.pooled_buffers(), 0u);
+  EXPECT_EQ(ws.pooled_bytes(), 0u);
+  Tensor t = ws.acquire(Shape({10}), /*zeroed=*/true);
+  for (std::size_t i = 0; i < t.numel(); ++i) ASSERT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(WorkspaceArena, PerShapePoolIsCapped) {
+  Workspace ws;
+  std::vector<Tensor> live;
+  for (int i = 0; i < 40; ++i) live.push_back(ws.acquire(Shape({4})));
+  for (auto& t : live) ws.release(std::move(t));
+  // Only kMaxPooledPerShape (16) buffers of one shape may park; the rest
+  // are dropped to the allocator.
+  EXPECT_EQ(ws.pooled_buffers(), 16u);
 }
 
 TEST(WorkspaceArena, DisabledMeansFreshZeroedAllocations) {

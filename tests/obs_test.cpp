@@ -162,6 +162,62 @@ TEST(Obs, CsvEmission) {
   EXPECT_NE(csv.find("42"), std::string::npos);
 }
 
+TEST(Obs, JsonEscapesControlCharactersAndBackslashes) {
+  MetricsRegistry reg;
+  reg.counter("path\\with\\backslash").add(1);
+  reg.counter("line\nbreak\tand\x01" "ctl").add(2);
+  const std::string json = obs::to_json(reg);
+  EXPECT_NE(json.find("\"path\\\\with\\\\backslash\""), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak\\tand\\u0001" "ctl"), std::string::npos);
+  // The raw control bytes must not leak into the output.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(Obs, JsonOrderIsStableByKindThenKey) {
+  // Registration order is scrambled on purpose; emission must come out as
+  // counters, gauges, timers — each block key-sorted — so equivalent
+  // registries always serialize to identical bytes.
+  MetricsRegistry reg;
+  reg.timer("z/t").record_ns(1);
+  reg.gauge("m/g").set(1.0);
+  reg.counter("b/c").add(1);
+  reg.counter("a/c").add(1);
+  reg.timer("a/t").record_ns(1);
+  const std::string json = obs::to_json(reg);
+  const std::size_t a_c = json.find("\"a/c\"");
+  const std::size_t b_c = json.find("\"b/c\"");
+  const std::size_t m_g = json.find("\"m/g\"");
+  const std::size_t a_t = json.find("\"a/t\"");
+  const std::size_t z_t = json.find("\"z/t\"");
+  ASSERT_NE(a_c, std::string::npos);
+  ASSERT_NE(z_t, std::string::npos);
+  EXPECT_LT(a_c, b_c);
+  EXPECT_LT(b_c, m_g);
+  EXPECT_LT(m_g, a_t);
+  EXPECT_LT(a_t, z_t);
+}
+
+TEST(Obs, SamplesToJsonMatchesRegistryEmission) {
+  MetricsRegistry reg;
+  reg.counter("s/c").add(4);
+  reg.gauge("s/g").set(0.25);
+  reg.timer("s/t").record_ns(9);
+  EXPECT_EQ(obs::samples_to_json(reg.snapshot()), obs::to_json(reg));
+}
+
+TEST(Obs, CsvQuotesKeysWithCommasAndQuotes) {
+  MetricsRegistry reg;
+  reg.counter("plain/key").add(1);
+  reg.counter("with,comma").add(2);
+  reg.counter("with\"quote").add(3);
+  const std::string csv = obs::to_csv(reg);
+  EXPECT_NE(csv.find("plain/key,counter,1"), std::string::npos);
+  // RFC 4180: embedded comma -> whole field quoted; embedded quote ->
+  // quoted and doubled.
+  EXPECT_NE(csv.find("\"with,comma\",counter,2"), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\",counter,3"), std::string::npos);
+}
+
 // With instrumentation off (the default for tests), running the full set
 // of instrumented operations must not register a single key: the global
 // registry's size is unchanged, proving the hot paths do no metric work.

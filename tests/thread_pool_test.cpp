@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "tensor/thread_pool.hpp"
@@ -173,6 +175,56 @@ TEST(ThreadPool, SingleThreadPoolPropagatesToo) {
     for (std::size_t i = b; i < e; ++i) total += i;
   });
   EXPECT_EQ(total, 45u);
+}
+
+// Saves/restores one environment variable around a test body.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* v = std::getenv(name);
+    if (v) saved_ = v;
+    had_ = v != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ThreadPool, EnvOverrideParsesPositiveIntegers) {
+  EnvGuard guard("ADV_THREADS");
+  ::setenv("ADV_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 3u);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ::setenv("ADV_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 1u);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, EnvOverrideRejectsMalformedValues) {
+  EnvGuard guard("ADV_THREADS");
+  for (const char* bad : {"", "0", "-2", "abc", "2x", "  "}) {
+    ::setenv("ADV_THREADS", bad, 1);
+    EXPECT_EQ(ThreadPool::env_thread_override(), 0u) << "value: '" << bad
+                                                     << "'";
+  }
+  ::unsetenv("ADV_THREADS");
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+}
+
+TEST(ThreadPool, DefaultCountFallsBackToHardware) {
+  EnvGuard guard("ADV_THREADS");
+  ::unsetenv("ADV_THREADS");
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(ThreadPool::default_thread_count(), hw ? hw : 1u);
 }
 
 TEST(ThreadPool, ParallelReductionPerChunkIsExact) {

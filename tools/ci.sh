@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # One-command verification gate: fresh configure, build, full test suite,
-# then a short instrumented benchmark pass that must emit the metrics
-# artifacts (BENCH_gemm.json, BENCH_layers.json).
+# a short instrumented benchmark pass that must emit the metrics
+# artifacts (BENCH_gemm.json, BENCH_layers.json), and a sharded-vs-
+# unsharded identity gate (REPRO_SCALE=smoke, --shards 2) proving the
+# process fan-out reproduces the single-process attack artifacts and
+# success counters bit for bit.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 # Env:   ADV_OBS=0 pins the instrumentation off (overhead A/B runs);
@@ -63,5 +66,75 @@ if [ -s "$build_dir/BENCH_attack_engine.json" ]; then
     echo "FAIL: attack engine speedup ${speedup:-?}x < 2x" >&2
     fail=1
   fi
+fi
+
+echo "== sharded attack identity (REPRO_SCALE=smoke, --shards 2) =="
+# Baseline: one unsharded smoke-scale table1 run trains the tiny models
+# into a private cache and writes the canonical attack artifacts.
+shard_cache="$repo_root/$build_dir/shard_ci/cache"
+base_dir="$repo_root/$build_dir/shard_ci/unsharded"
+shard_dir="$repo_root/$build_dir/shard_ci/sharded"
+table1="$repo_root/$build_dir/bench/table1_attack_comparison"
+rm -rf "$repo_root/$build_dir/shard_ci"
+mkdir -p "$shard_cache" "$base_dir" "$shard_dir"
+
+(cd "$base_dir" &&
+ REPRO_SCALE=smoke REPRO_CACHE_DIR="$shard_cache" ADV_THREADS=1 \
+   "$table1" > table1.out)
+
+# Stash the canonical attack artifacts and drop them from the cache, so
+# the sharded run recomputes its slices instead of warm-starting from
+# the baseline's answers (models stay cached — only attacks re-run).
+mkdir -p "$shard_cache/baseline"
+mv "$shard_cache"/atk_*.bin "$shard_cache/baseline/"
+
+(cd "$shard_dir" &&
+ REPRO_SCALE=smoke REPRO_CACHE_DIR="$shard_cache" ADV_THREADS=1 \
+   "$table1" --shards 2 > table1.out)
+
+# Gate 1: every merged artifact is bitwise identical to the baseline's.
+for f in "$shard_cache/baseline"/atk_*.bin; do
+  name="$(basename "$f")"
+  if cmp -s "$f" "$shard_cache/$name"; then
+    echo "ok: $name identical (2 shards vs unsharded)"
+  else
+    echo "FAIL: $name differs between sharded and unsharded runs" >&2
+    fail=1
+  fi
+done
+
+# Gate 2: the merged per-attack success/image counters in
+# BENCH_attacks.json match the unsharded dump exactly. (Run-shaped
+# counters like runs/iterations legitimately double with two workers.)
+extract_counts() {
+  grep -E '"key": "attack/[^"]*/(successes|images)"' "$1" | sort
+}
+if diff <(extract_counts "$base_dir/BENCH_attacks.json") \
+        <(extract_counts "$shard_dir/BENCH_attacks.json"); then
+  echo "ok: merged attack success/image counters match unsharded"
+else
+  echo "FAIL: merged BENCH_attacks.json counters diverge" >&2
+  fail=1
+fi
+
+# Gate 3: on hosts with cores to spare, two workers must actually run in
+# parallel — BENCH_shard.json's speedup (worker CPU over driver wall for
+# the fan-out phase) has to reach 1.6x.
+if [ -s "$shard_dir/BENCH_shard.json" ]; then
+  shard_speedup=$(sed -n 's/.*"speedup": *\([0-9.]*\).*/\1/p' \
+                  "$shard_dir/BENCH_shard.json")
+  if [ "$(nproc)" -ge 4 ]; then
+    if awk -v s="${shard_speedup:-0}" 'BEGIN { exit !(s >= 1.6) }'; then
+      echo "ok: shard speedup ${shard_speedup}x (>= 1.6x at 2 shards)"
+    else
+      echo "FAIL: shard speedup ${shard_speedup:-?}x < 1.6x" >&2
+      fail=1
+    fi
+  else
+    echo "info: shard speedup ${shard_speedup:-?}x (< 4 cores; gate skipped)"
+  fi
+else
+  echo "MISSING: $shard_dir/BENCH_shard.json" >&2
+  fail=1
 fi
 exit "$fail"

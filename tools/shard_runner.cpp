@@ -1,0 +1,89 @@
+// shard_runner — drive any shard-aware bench binary through the K-way
+// fan-out without touching the binary's own flags:
+//
+//   shard_runner --shards K [--staging DIR] -- <bench> [args...]
+//
+// Equivalent to running `<bench> --shards K [args...]`, but as a
+// separate driver process: it warms the shared model cache with
+// `<bench> --warm-only`, spawns `<bench> --shard k/K` workers, merges
+// artifacts and metric dumps, and replays `<bench>` for canonical
+// output. Useful for scripting several benches through one entry point
+// and for keeping the driver alive independently of the bench.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/shard.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --shards K [--staging DIR] -- <bench> [args...]\n"
+               "The bench binary must be shard-aware (wired through "
+               "adv::core::shard_main).\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t shards = 0;
+  std::string staging;
+  std::vector<std::string> command;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--shards="), nullptr, 10));
+    } else if (arg == "--staging" && i + 1 < argc) {
+      staging = argv[++i];
+    } else if (arg.rfind("--staging=", 0) == 0) {
+      staging = arg.substr(std::strlen("--staging="));
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  for (; i < argc; ++i) command.emplace_back(argv[i]);
+  if (shards == 0 || command.empty()) return usage(argv[0]);
+
+  using namespace adv;
+  const core::ScaleConfig cfg = core::scale_from_env();
+  const std::string bench_name =
+      std::filesystem::path(command.front()).filename().string();
+
+  // Phase 1: publish shared models once so workers only craft attacks.
+  std::printf("[shard_runner] warming: %s --warm-only\n",
+              command.front().c_str());
+  std::fflush(stdout);
+  std::vector<std::string> warm_cmd = command;
+  warm_cmd.push_back("--warm-only");
+  if (const int rc = core::run_command(warm_cmd); rc != 0) {
+    std::fprintf(stderr, "[shard_runner] warm phase failed (status %d)\n", rc);
+    return rc;
+  }
+
+  // Phase 2: fan out, merge, and replay the bench for canonical output.
+  core::DriverOptions opts;
+  opts.bench_name = bench_name;
+  opts.shards = shards;
+  opts.command = command;
+  if (!staging.empty()) opts.staging_root = staging;
+  opts.cache_dir = cfg.cache_dir;
+  opts.replay = [&command] {
+    if (const int rc = core::run_command(command); rc != 0) {
+      std::fprintf(stderr, "[shard_runner] replay failed (status %d)\n", rc);
+    }
+  };
+  const core::ShardReport rep = core::run_shard_driver(opts);
+  return rep.all_ok() ? 0 : 1;
+}
