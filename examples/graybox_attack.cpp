@@ -47,9 +47,10 @@ int main() {
       zoo.ead(id, 0.1f, kappa, attacks::DecisionRule::EN);
 
   // Gray-box attack: the attacker trains its OWN surrogate auto-encoder
-  // (knows the defense family, not the defender's weights), composes
-  // surrogate-reformer -> classifier into one differentiable model, and
-  // runs C&W-L2 through the composition.
+  // (knows the defense family, not the defender's weights) and points
+  // C&W-L2 at a GrayBoxTarget — the attack differentiates through the
+  // surrogate-reformer -> classifier composition without fusing the
+  // models (attacks/target.hpp; the defender keeps its own instances).
   magnet::AutoencoderConfig ac;
   ac.arch = magnet::AeArch::MnistDeep;
   ac.image_channels = 1;
@@ -59,29 +60,15 @@ int main() {
   auto surrogate =
       magnet::train_autoencoder(ac, zoo.dataset(id).train.images);
 
-  Rng rng(7);
-  nn::Sequential composed = magnet::build_autoencoder(ac, rng);
-  {
-    auto src = surrogate->parameters();
-    auto dst = composed.parameters();
-    for (std::size_t i = 0; i < src.size(); ++i) *dst[i] = *src[i];
-  }
-  nn::Sequential clf_arch =
-      core::build_classifier(id, zoo.dataset(id).train.height(), rng);
-  {
-    auto src = classifier->parameters();
-    auto dst = clf_arch.parameters();
-    for (std::size_t i = 0; i < src.size(); ++i) *dst[i] = *src[i];
-  }
-  composed.append(std::move(clf_arch));
-
+  attacks::GrayBoxTarget target(*surrogate, *classifier,
+                                "_tmgray_surrogate");
   attacks::CwL2Config gb;
   gb.kappa = kappa;
   gb.iterations = cfg.attack_iterations;
   gb.binary_search_steps = cfg.binary_search_steps;
   gb.initial_c = 1.0f;
   const attacks::AttackResult graybox =
-      attacks::cw_l2_attack(composed, aset.images, aset.labels, gb);
+      attacks::cw_l2_attack(target, aset.images, aset.labels, gb);
 
   const auto scheme = magnet::DefenseScheme::Full;
   const auto e_cw =

@@ -1,5 +1,6 @@
 #include "attacks/attack.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -23,6 +24,24 @@ std::string abort_suffix(std::size_t window, float rel_tol) {
 }
 
 }  // namespace
+
+std::vector<std::string> overrides_set_fields(const AttackOverrides& o) {
+  std::vector<std::string> out;
+  if (o.kappa) out.emplace_back("kappa");
+  if (o.beta) out.emplace_back("beta");
+  if (o.epsilon) out.emplace_back("epsilon");
+  if (o.learning_rate) out.emplace_back("learning_rate");
+  if (o.initial_c) out.emplace_back("initial_c");
+  if (o.overshoot) out.emplace_back("overshoot");
+  if (o.iterations) out.emplace_back("iterations");
+  if (o.binary_search_steps) out.emplace_back("binary_search_steps");
+  if (o.rule) out.emplace_back("rule");
+  if (o.mode) out.emplace_back("mode");
+  if (o.abort_early_window) out.emplace_back("abort_early_window");
+  if (o.abort_early_rel_tol) out.emplace_back("abort_early_rel_tol");
+  if (o.compact) out.emplace_back("compact");
+  return out;
+}
 
 AttackMetricsScope::AttackMetricsScope(std::string name,
                                        std::size_t configured_iterations,
@@ -64,13 +83,19 @@ AttackMetricsScope::~AttackMetricsScope() {
       .add(reg.counter("model/forward_calls").value() - forward0_);
 }
 
-AttackResult Attack::run(nn::Sequential& model, const Tensor& images,
+AttackResult Attack::run(AttackTarget& target, const Tensor& images,
                          const std::vector<int>& labels) const {
   AttackMetricsScope scope(name(), configured_iterations(),
                            images.rank() ? images.dim(0) : 0);
-  AttackResult result = run_impl(model, images, labels);
+  AttackResult result = run_impl(target, images, labels);
   scope.record_outcome(result);
   return result;
+}
+
+AttackResult Attack::run(nn::Sequential& model, const Tensor& images,
+                         const std::vector<int>& labels) const {
+  ObliviousTarget target(model);
+  return run(target, images, labels);
 }
 
 std::string FgsmAttack::name() const { return name_; }
@@ -80,9 +105,9 @@ std::string FgsmAttack::tag() const {
          std::to_string(cfg_.iterations);
 }
 
-AttackResult FgsmAttack::run_impl(nn::Sequential& model, const Tensor& images,
+AttackResult FgsmAttack::run_impl(AttackTarget& target, const Tensor& images,
                                   const std::vector<int>& labels) const {
-  return fgsm_attack(model, images, labels, cfg_);
+  return fgsm_attack(target, images, labels, cfg_);
 }
 
 std::string CwL2Attack::name() const { return "cw-l2"; }
@@ -94,10 +119,10 @@ std::string CwL2Attack::tag() const {
          abort_suffix(cfg_.abort_early_window, cfg_.abort_early_rel_tol);
 }
 
-AttackResult CwL2Attack::run_impl(nn::Sequential& model,
+AttackResult CwL2Attack::run_impl(AttackTarget& target,
                                   const Tensor& images,
                                   const std::vector<int>& labels) const {
-  return cw_l2_attack(model, images, labels, cfg_);
+  return cw_l2_attack(target, images, labels, cfg_);
 }
 
 std::string DeepFoolAttack::name() const { return "deepfool"; }
@@ -108,9 +133,9 @@ std::string DeepFoolAttack::tag() const {
 }
 
 AttackResult DeepFoolAttack::run_impl(
-    nn::Sequential& model, const Tensor& images,
+    AttackTarget& target, const Tensor& images,
     const std::vector<int>& labels) const {
-  return deepfool_attack(model, images, labels, cfg_);
+  return deepfool_attack(target, images, labels, cfg_);
 }
 
 std::string EadAttack::name() const { return "ead"; }
@@ -125,20 +150,22 @@ std::string EadAttack::tag() const {
          abort_suffix(cfg_.abort_early_window, cfg_.abort_early_rel_tol);
 }
 
-AttackResult EadAttack::run_impl(nn::Sequential& model, const Tensor& images,
+AttackResult EadAttack::run_impl(AttackTarget& target, const Tensor& images,
                                  const std::vector<int>& labels) const {
-  return ead_attack(model, images, labels, cfg_);
+  return ead_attack(target, images, labels, cfg_);
 }
 
 AttackRegistry::AttackRegistry() {
-  add("fgsm", [](const AttackOverrides& o) {
+  const std::vector<std::string> fgsm_fields = {"epsilon", "iterations",
+                                                "compact"};
+  add("fgsm", fgsm_fields, [](const AttackOverrides& o) {
     FgsmConfig cfg;
     if (o.epsilon) cfg.epsilon = *o.epsilon;
     if (o.iterations) cfg.iterations = *o.iterations;
     if (o.compact) cfg.compact = *o.compact;
     return std::make_unique<FgsmAttack>(cfg);
   });
-  add("ifgsm", [](const AttackOverrides& o) {
+  add("ifgsm", fgsm_fields, [](const AttackOverrides& o) {
     FgsmConfig cfg;
     cfg.iterations = 10;
     if (o.epsilon) cfg.epsilon = *o.epsilon;
@@ -146,40 +173,55 @@ AttackRegistry::AttackRegistry() {
     if (o.compact) cfg.compact = *o.compact;
     return std::make_unique<FgsmAttack>(cfg, "ifgsm");
   });
-  add("cw-l2", [](const AttackOverrides& o) {
-    CwL2Config cfg;
-    if (o.kappa) cfg.kappa = *o.kappa;
-    if (o.iterations) cfg.iterations = *o.iterations;
-    if (o.binary_search_steps) cfg.binary_search_steps = *o.binary_search_steps;
-    if (o.initial_c) cfg.initial_c = *o.initial_c;
-    if (o.learning_rate) cfg.learning_rate = *o.learning_rate;
-    if (o.abort_early_window) cfg.abort_early_window = *o.abort_early_window;
-    if (o.abort_early_rel_tol) cfg.abort_early_rel_tol = *o.abort_early_rel_tol;
-    if (o.compact) cfg.compact = *o.compact;
-    return std::make_unique<CwL2Attack>(cfg);
-  });
-  add("deepfool", [](const AttackOverrides& o) {
-    DeepFoolConfig cfg;
-    if (o.iterations) cfg.max_iterations = *o.iterations;
-    if (o.overshoot) cfg.overshoot = *o.overshoot;
-    if (o.compact) cfg.compact = *o.compact;
-    return std::make_unique<DeepFoolAttack>(cfg);
-  });
-  add("ead", [](const AttackOverrides& o) {
-    EadConfig cfg;
-    if (o.beta) cfg.beta = *o.beta;
-    if (o.kappa) cfg.kappa = *o.kappa;
-    if (o.iterations) cfg.iterations = *o.iterations;
-    if (o.binary_search_steps) cfg.binary_search_steps = *o.binary_search_steps;
-    if (o.initial_c) cfg.initial_c = *o.initial_c;
-    if (o.learning_rate) cfg.learning_rate = *o.learning_rate;
-    if (o.rule) cfg.rule = *o.rule;
-    if (o.mode) cfg.mode = *o.mode;
-    if (o.abort_early_window) cfg.abort_early_window = *o.abort_early_window;
-    if (o.abort_early_rel_tol) cfg.abort_early_rel_tol = *o.abort_early_rel_tol;
-    if (o.compact) cfg.compact = *o.compact;
-    return std::make_unique<EadAttack>(cfg);
-  });
+  add("cw-l2",
+      {"kappa", "iterations", "binary_search_steps", "initial_c",
+       "learning_rate", "abort_early_window", "abort_early_rel_tol",
+       "compact"},
+      [](const AttackOverrides& o) {
+        CwL2Config cfg;
+        if (o.kappa) cfg.kappa = *o.kappa;
+        if (o.iterations) cfg.iterations = *o.iterations;
+        if (o.binary_search_steps)
+          cfg.binary_search_steps = *o.binary_search_steps;
+        if (o.initial_c) cfg.initial_c = *o.initial_c;
+        if (o.learning_rate) cfg.learning_rate = *o.learning_rate;
+        if (o.abort_early_window)
+          cfg.abort_early_window = *o.abort_early_window;
+        if (o.abort_early_rel_tol)
+          cfg.abort_early_rel_tol = *o.abort_early_rel_tol;
+        if (o.compact) cfg.compact = *o.compact;
+        return std::make_unique<CwL2Attack>(cfg);
+      });
+  add("deepfool", {"iterations", "overshoot", "compact"},
+      [](const AttackOverrides& o) {
+        DeepFoolConfig cfg;
+        if (o.iterations) cfg.max_iterations = *o.iterations;
+        if (o.overshoot) cfg.overshoot = *o.overshoot;
+        if (o.compact) cfg.compact = *o.compact;
+        return std::make_unique<DeepFoolAttack>(cfg);
+      });
+  add("ead",
+      {"kappa", "beta", "iterations", "binary_search_steps", "initial_c",
+       "learning_rate", "rule", "mode", "abort_early_window",
+       "abort_early_rel_tol", "compact"},
+      [](const AttackOverrides& o) {
+        EadConfig cfg;
+        if (o.beta) cfg.beta = *o.beta;
+        if (o.kappa) cfg.kappa = *o.kappa;
+        if (o.iterations) cfg.iterations = *o.iterations;
+        if (o.binary_search_steps)
+          cfg.binary_search_steps = *o.binary_search_steps;
+        if (o.initial_c) cfg.initial_c = *o.initial_c;
+        if (o.learning_rate) cfg.learning_rate = *o.learning_rate;
+        if (o.rule) cfg.rule = *o.rule;
+        if (o.mode) cfg.mode = *o.mode;
+        if (o.abort_early_window)
+          cfg.abort_early_window = *o.abort_early_window;
+        if (o.abort_early_rel_tol)
+          cfg.abort_early_rel_tol = *o.abort_early_rel_tol;
+        if (o.compact) cfg.compact = *o.compact;
+        return std::make_unique<EadAttack>(cfg);
+      });
 }
 
 AttackRegistry& AttackRegistry::instance() {
@@ -194,7 +236,23 @@ void AttackRegistry::add(const std::string& name, Factory factory) {
     throw std::invalid_argument("AttackRegistry::add: null factory for '" +
                                 name + "'");
   }
-  if (!factories_.emplace(name, std::move(factory)).second) {
+  Entry entry{std::move(factory), {}, /*strict=*/false};
+  if (!factories_.emplace(name, std::move(entry)).second) {
+    throw std::invalid_argument("AttackRegistry::add: duplicate attack '" +
+                                name + "'");
+  }
+}
+
+void AttackRegistry::add(const std::string& name,
+                         std::vector<std::string> relevant_fields,
+                         Factory factory) {
+  if (!factory) {
+    throw std::invalid_argument("AttackRegistry::add: null factory for '" +
+                                name + "'");
+  }
+  Entry entry{std::move(factory), std::move(relevant_fields),
+              /*strict=*/true};
+  if (!factories_.emplace(name, std::move(entry)).second) {
     throw std::invalid_argument("AttackRegistry::add: duplicate attack '" +
                                 name + "'");
   }
@@ -212,7 +270,24 @@ std::unique_ptr<Attack> AttackRegistry::create(
     throw std::invalid_argument("AttackRegistry: unknown attack '" + name +
                                 "' (registered: " + known + ")");
   }
-  return it->second(overrides);
+  const Entry& entry = it->second;
+  if (entry.strict) {
+    for (const std::string& field : overrides_set_fields(overrides)) {
+      if (std::find(entry.relevant.begin(), entry.relevant.end(), field) ==
+          entry.relevant.end()) {
+        if (obs::enabled()) {
+          obs::MetricsRegistry::global()
+              .counter("attack/overrides_rejected")
+              .add(1);
+        }
+        throw std::invalid_argument(
+            "AttackRegistry: override field '" + field +
+            "' is not consumed by attack '" + name +
+            "' (it would be silently ignored)");
+      }
+    }
+  }
+  return entry.factory(overrides);
 }
 
 bool AttackRegistry::contains(const std::string& name) const {

@@ -5,7 +5,10 @@
 //
 // Adapters are thin: each wraps a legacy config struct and forwards run()
 // to the corresponding free function, so a registry-built attack produces
-// results identical to a direct call.
+// results identical to a direct call. Attacks run against an AttackTarget
+// (attacks/target.hpp) — the threat-model seam; the nn::Sequential&
+// overload is the oblivious special case and routes through an
+// ObliviousTarget (bitwise-identical results).
 #pragma once
 
 #include <chrono>
@@ -19,14 +22,16 @@
 #include "attacks/cw.hpp"
 #include "attacks/deepfool.hpp"
 #include "attacks/fgsm.hpp"
+#include "attacks/target.hpp"
 #include "obs/metrics.hpp"
 
 namespace adv::attacks {
 
 /// Optional knob overrides applied on top of an attack's default config
-/// when it is built by name. Fields irrelevant to the chosen attack are
-/// ignored (e.g. beta for FGSM), mirroring how the legacy config structs
-/// ignore unknown settings.
+/// when it is built by name. AttackRegistry::create is strict: setting a
+/// field the chosen attack does not consume (e.g. beta for FGSM) throws,
+/// with the message naming the offending field — a silently-ignored knob
+/// is almost always a misconfigured experiment.
 struct AttackOverrides {
   std::optional<float> kappa;
   std::optional<float> beta;
@@ -44,6 +49,11 @@ struct AttackOverrides {
   std::optional<float> abort_early_rel_tol;
   std::optional<bool> compact;
 };
+
+/// Names of the fields set (non-nullopt) in `o`, in declaration order.
+/// The registry's strictness check compares these against the chosen
+/// attack's relevant-field list.
+std::vector<std::string> overrides_set_fields(const AttackOverrides& o);
 
 /// RAII metrics recorder for one attack run. When obs::enabled() at
 /// construction, records under "attack/<name>/...":
@@ -76,10 +86,10 @@ class AttackMetricsScope {
   std::uint64_t backward0_ = 0;
 };
 
-/// Polymorphic attack: craft adversarial examples for `images` against
-/// `model` (raw-logit classifier), under the paper's oblivious threat
-/// model. In untargeted mode `labels` are the true labels; in targeted
-/// mode they are the attack targets.
+/// Polymorphic attack: craft adversarial examples for `images` against an
+/// AttackTarget (oblivious / gray-box / detector-aware). In untargeted
+/// mode `labels` are the true labels; in targeted mode they are the
+/// attack targets.
 class Attack {
  public:
   virtual ~Attack() = default;
@@ -89,7 +99,8 @@ class Attack {
 
   /// Stable parameter-bearing identifier, e.g. "ead_b0.01_k15_EN_i1000".
   /// Distinct configurations must yield distinct tags — caching layers
-  /// (core::ModelZoo) key stored artifacts on it.
+  /// (core::ModelZoo) key stored artifacts on it, with the target's
+  /// tag_suffix() appended to separate threat models.
   virtual std::string tag() const = 0;
 
   /// Configured per-binary-search-step iteration budget (0 when the
@@ -100,12 +111,18 @@ class Attack {
   /// registry-built attack reports iterations, gradient queries and
   /// time-to-success uniformly. Results are identical to calling the
   /// underlying free function directly.
+  AttackResult run(AttackTarget& target, const Tensor& images,
+                   const std::vector<int>& labels) const;
+
+  /// Oblivious convenience overload (the pre-AttackTarget API): runs
+  /// against an ObliviousTarget over `model`, bitwise-identical to the
+  /// old direct-Sequential path.
   AttackResult run(nn::Sequential& model, const Tensor& images,
                    const std::vector<int>& labels) const;
 
  protected:
   /// The algorithm itself; subclasses implement this instead of run().
-  virtual AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+  virtual AttackResult run_impl(AttackTarget& target, const Tensor& images,
                                 const std::vector<int>& labels) const = 0;
 };
 
@@ -125,7 +142,7 @@ class FgsmAttack final : public Attack {
   const FgsmConfig& config() const { return cfg_; }
 
  protected:
-  AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+  AttackResult run_impl(AttackTarget& target, const Tensor& images,
                         const std::vector<int>& labels) const override;
 
  private:
@@ -145,7 +162,7 @@ class CwL2Attack final : public Attack {
   const CwL2Config& config() const { return cfg_; }
 
  protected:
-  AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+  AttackResult run_impl(AttackTarget& target, const Tensor& images,
                         const std::vector<int>& labels) const override;
 
  private:
@@ -164,7 +181,7 @@ class DeepFoolAttack final : public Attack {
   const DeepFoolConfig& config() const { return cfg_; }
 
  protected:
-  AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+  AttackResult run_impl(AttackTarget& target, const Tensor& images,
                         const std::vector<int>& labels) const override;
 
  private:
@@ -183,7 +200,7 @@ class EadAttack final : public Attack {
   const EadConfig& config() const { return cfg_; }
 
  protected:
-  AttackResult run_impl(nn::Sequential& model, const Tensor& images,
+  AttackResult run_impl(AttackTarget& target, const Tensor& images,
                         const std::vector<int>& labels) const override;
 
  private:
@@ -201,11 +218,21 @@ class AttackRegistry {
   /// Process-wide registry with the built-ins pre-registered.
   static AttackRegistry& instance();
 
-  /// Registers a factory; throws std::invalid_argument on a duplicate.
+  /// Registers a factory that consumes every AttackOverrides field
+  /// (create() then checks nothing). Throws std::invalid_argument on a
+  /// duplicate name.
   void add(const std::string& name, Factory factory);
 
+  /// Registers a factory together with the override fields it consumes
+  /// (names as in AttackOverrides; see overrides_set_fields). create()
+  /// rejects overrides that set any other field.
+  void add(const std::string& name, std::vector<std::string> relevant_fields,
+           Factory factory);
+
   /// Builds the named attack. Throws std::invalid_argument for unknown
-  /// names (the message lists what is registered).
+  /// names (the message lists what is registered) and for overrides that
+  /// set a field irrelevant to the attack (the message names the field;
+  /// the "attack/overrides_rejected" obs counter is bumped first).
   std::unique_ptr<Attack> create(const std::string& name,
                                  const AttackOverrides& overrides = {}) const;
 
@@ -215,8 +242,14 @@ class AttackRegistry {
   std::vector<std::string> names() const;
 
  private:
+  struct Entry {
+    Factory factory;
+    std::vector<std::string> relevant;  // empty + !strict: accepts all
+    bool strict = false;
+  };
+
   AttackRegistry();
-  std::map<std::string, Factory> factories_;
+  std::map<std::string, Entry> factories_;
 };
 
 /// Convenience wrapper over AttackRegistry::instance().create().

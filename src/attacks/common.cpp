@@ -32,24 +32,11 @@ float mean_over_success(const std::vector<float>& values,
   return n ? static_cast<float>(acc / static_cast<double>(n)) : 0.0f;
 }
 
-}  // namespace
-
-float AttackResult::mean_l1_over_success() const {
-  return mean_over_success(l1, success);
-}
-
-float AttackResult::mean_l2_over_success() const {
-  return mean_over_success(l2, success);
-}
-
-HingeEval eval_attack_hinge(nn::Sequential& model, const Tensor& batch,
-                            const std::vector<int>& labels, float kappa,
-                            HingeMode mode, nn::Mode forward_mode) {
-  if (batch.dim(0) != labels.size()) {
-    throw std::invalid_argument("eval_attack_hinge: batch/label mismatch");
-  }
-  HingeEval out;
-  out.logits = model.forward(batch, forward_mode);
+// Hinge statistics from logits already stored in `out`. Shared by the
+// Sequential and AttackTarget entry points so both compute bit-identical
+// margins/f from identical logits.
+void fill_hinge_stats(HingeEval& out, const std::vector<int>& labels,
+                      float kappa, HingeMode mode) {
   const std::size_t n = out.logits.dim(0), k = out.logits.dim(1);
   out.margin.resize(n);
   out.f.resize(n);
@@ -69,22 +56,12 @@ HingeEval eval_attack_hinge(nn::Sequential& model, const Tensor& batch,
                                                   : z[t] - best_other;
     out.f[i] = std::max(-out.margin[i], -kappa);
   }
-  return out;
 }
 
-HingeEval eval_untargeted_hinge(nn::Sequential& model, const Tensor& batch,
-                                const std::vector<int>& labels, float kappa,
-                                nn::Mode forward_mode) {
-  return eval_attack_hinge(model, batch, labels, kappa,
-                           HingeMode::Untargeted, forward_mode);
-}
-
-Tensor attack_hinge_input_gradient(nn::Sequential& model,
-                                   const HingeEval& eval,
-                                   const std::vector<int>& labels,
-                                   float kappa,
-                                   const std::vector<float>& weight,
-                                   HingeMode mode) {
+// Logit-space seed of sum_i weight[i] * f_i (shared by both entry points).
+Tensor hinge_seed(const HingeEval& eval, const std::vector<int>& labels,
+                  float kappa, const std::vector<float>& weight,
+                  HingeMode mode) {
   const std::size_t n = eval.logits.dim(0), k = eval.logits.dim(1);
   if (weight.size() != n || labels.size() != n) {
     throw std::invalid_argument("attack_hinge_input_gradient: size mismatch");
@@ -105,7 +82,82 @@ Tensor attack_hinge_input_gradient(nn::Sequential& model,
     seed[i * k + t] = sign * weight[i];
     seed[i * k + jstar] = -sign * weight[i];
   }
-  return model.backward(seed);
+  return seed;
+}
+
+}  // namespace
+
+float AttackResult::mean_l1_over_success() const {
+  return mean_over_success(l1, success);
+}
+
+float AttackResult::mean_l2_over_success() const {
+  return mean_over_success(l2, success);
+}
+
+HingeEval eval_attack_hinge(AttackTarget& target, const Tensor& batch,
+                            const std::vector<int>& labels, float kappa,
+                            HingeMode mode, nn::Mode forward_mode) {
+  if (batch.dim(0) != labels.size()) {
+    throw std::invalid_argument("eval_attack_hinge: batch/label mismatch");
+  }
+  HingeEval out;
+  out.logits = target.logits(batch, forward_mode);
+  fill_hinge_stats(out, labels, kappa, mode);
+  return out;
+}
+
+HingeEval eval_attack_hinge(nn::Sequential& model, const Tensor& batch,
+                            const std::vector<int>& labels, float kappa,
+                            HingeMode mode, nn::Mode forward_mode) {
+  if (batch.dim(0) != labels.size()) {
+    throw std::invalid_argument("eval_attack_hinge: batch/label mismatch");
+  }
+  HingeEval out;
+  out.logits = model.forward(batch, forward_mode);
+  fill_hinge_stats(out, labels, kappa, mode);
+  return out;
+}
+
+HingeEval eval_untargeted_hinge(AttackTarget& target, const Tensor& batch,
+                                const std::vector<int>& labels, float kappa,
+                                nn::Mode forward_mode) {
+  return eval_attack_hinge(target, batch, labels, kappa,
+                           HingeMode::Untargeted, forward_mode);
+}
+
+HingeEval eval_untargeted_hinge(nn::Sequential& model, const Tensor& batch,
+                                const std::vector<int>& labels, float kappa,
+                                nn::Mode forward_mode) {
+  return eval_attack_hinge(model, batch, labels, kappa,
+                           HingeMode::Untargeted, forward_mode);
+}
+
+Tensor attack_hinge_input_gradient(AttackTarget& target, const Tensor& batch,
+                                   const HingeEval& eval,
+                                   const std::vector<int>& labels,
+                                   float kappa,
+                                   const std::vector<float>& weight,
+                                   HingeMode mode) {
+  return target.input_grad(batch,
+                           hinge_seed(eval, labels, kappa, weight, mode));
+}
+
+Tensor attack_hinge_input_gradient(nn::Sequential& model,
+                                   const HingeEval& eval,
+                                   const std::vector<int>& labels,
+                                   float kappa,
+                                   const std::vector<float>& weight,
+                                   HingeMode mode) {
+  return model.backward(hinge_seed(eval, labels, kappa, weight, mode));
+}
+
+Tensor hinge_input_gradient(AttackTarget& target, const Tensor& batch,
+                            const HingeEval& eval,
+                            const std::vector<int>& labels, float kappa,
+                            const std::vector<float>& weight) {
+  return attack_hinge_input_gradient(target, batch, eval, labels, kappa,
+                                     weight, HingeMode::Untargeted);
 }
 
 Tensor hinge_input_gradient(nn::Sequential& model, const HingeEval& eval,

@@ -1,13 +1,17 @@
 // Shared attack infrastructure.
 //
-// All attacks here are *untargeted, white-box on the undefended model*
-// (the paper's oblivious threat model: craft on the plain DNN, evaluate
-// on the MagNet-protected one). The classifier must output raw logits.
+// All attacks here are *untargeted, white-box against an AttackTarget*
+// (attacks/target.hpp): the paper's oblivious threat model wraps the
+// bare classifier, the gray-box / detector-aware models wrap the
+// defended composition. The target must output raw logits. Legacy
+// nn::Sequential& overloads are kept for the oblivious path and are
+// bitwise-identical to routing through an ObliviousTarget.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "attacks/target.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/tensor.hpp"
 
@@ -17,7 +21,9 @@ struct AttackResult {
   /// Final adversarial examples, one row per input. Where the attack
   /// failed, the row holds the unmodified natural image.
   Tensor adversarial;
-  /// Per-row success on the undefended model at the requested confidence.
+  /// Per-row success on the attack target at the requested confidence
+  /// (for detector-aware targets this additionally requires evading the
+  /// auxiliary detector terms).
   std::vector<bool> success;
   /// Distortion of the chosen example vs the natural image (valid
   /// everywhere; zero where the attack failed).
@@ -53,12 +59,19 @@ struct HingeEval {
 /// for forward-only scoring (candidate/success checks) — it skips the
 /// layers' backward-cache copies, and no attack_hinge_input_gradient call
 /// may follow such an eval.
+HingeEval eval_attack_hinge(AttackTarget& target, const Tensor& batch,
+                            const std::vector<int>& labels, float kappa,
+                            HingeMode mode,
+                            nn::Mode forward_mode = nn::Mode::Eval);
 HingeEval eval_attack_hinge(nn::Sequential& model, const Tensor& batch,
                             const std::vector<int>& labels, float kappa,
                             HingeMode mode,
                             nn::Mode forward_mode = nn::Mode::Eval);
 
-/// Untargeted convenience wrapper (paper eq. (3)).
+/// Untargeted convenience wrappers (paper eq. (3)).
+HingeEval eval_untargeted_hinge(AttackTarget& target, const Tensor& batch,
+                                const std::vector<int>& labels, float kappa,
+                                nn::Mode forward_mode = nn::Mode::Eval);
 HingeEval eval_untargeted_hinge(nn::Sequential& model, const Tensor& batch,
                                 const std::vector<int>& labels, float kappa,
                                 nn::Mode forward_mode = nn::Mode::Eval);
@@ -66,7 +79,15 @@ HingeEval eval_untargeted_hinge(nn::Sequential& model, const Tensor& batch,
 /// Builds the logit-space gradient seed of sum_i weight[i] * f_i and
 /// backpropagates it, returning d/d(batch). Rows whose hinge is inactive
 /// (margin >= kappa) contribute zero. Must follow the forward pass made by
-/// eval_attack_hinge on the same batch, with the same mode.
+/// eval_attack_hinge on the same batch, with the same mode. The target
+/// overload takes `batch` because composed targets backpropagate through
+/// more than one model.
+Tensor attack_hinge_input_gradient(AttackTarget& target, const Tensor& batch,
+                                   const HingeEval& eval,
+                                   const std::vector<int>& labels,
+                                   float kappa,
+                                   const std::vector<float>& weight,
+                                   HingeMode mode);
 Tensor attack_hinge_input_gradient(nn::Sequential& model,
                                    const HingeEval& eval,
                                    const std::vector<int>& labels,
@@ -74,7 +95,11 @@ Tensor attack_hinge_input_gradient(nn::Sequential& model,
                                    const std::vector<float>& weight,
                                    HingeMode mode);
 
-/// Untargeted convenience wrapper.
+/// Untargeted convenience wrappers.
+Tensor hinge_input_gradient(AttackTarget& target, const Tensor& batch,
+                            const HingeEval& eval,
+                            const std::vector<int>& labels, float kappa,
+                            const std::vector<float>& weight);
 Tensor hinge_input_gradient(nn::Sequential& model, const HingeEval& eval,
                             const std::vector<int>& labels, float kappa,
                             const std::vector<float>& weight);

@@ -2,9 +2,9 @@
 
 namespace adv::attacks {
 
-AttackResult cw_l2_attack(nn::Sequential& model, const Tensor& images,
-                          const std::vector<int>& labels,
-                          const CwL2Config& cfg) {
+namespace {
+
+EadConfig to_ead(const CwL2Config& cfg) {
   EadConfig ead;
   ead.beta = 0.0f;  // pure L2: shrinkage becomes plain box projection
   ead.kappa = cfg.kappa;
@@ -18,7 +18,21 @@ AttackResult cw_l2_attack(nn::Sequential& model, const Tensor& images,
   ead.abort_early_rel_tol = cfg.abort_early_rel_tol;
   ead.compact = cfg.compact;
   ead.metrics_name = "cw-l2";
-  return ead_attack(model, images, labels, ead);
+  return ead;
+}
+
+}  // namespace
+
+AttackResult cw_l2_attack(AttackTarget& target, const Tensor& images,
+                          const std::vector<int>& labels,
+                          const CwL2Config& cfg) {
+  return ead_attack(target, images, labels, to_ead(cfg));
+}
+
+AttackResult cw_l2_attack(nn::Sequential& model, const Tensor& images,
+                          const std::vector<int>& labels,
+                          const CwL2Config& cfg) {
+  return ead_attack(model, images, labels, to_ead(cfg));
 }
 
 }  // namespace adv::attacks

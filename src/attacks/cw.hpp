@@ -20,7 +20,14 @@ struct CwL2Config {
   bool compact = true;
 };
 
-/// Untargeted C&W L2 transfer attack against the undefended model.
+/// Untargeted C&W L2 attack against `target` (any threat model; the
+/// detector-aware behavior is inherited from the shared EAD engine).
+AttackResult cw_l2_attack(AttackTarget& target, const Tensor& images,
+                          const std::vector<int>& labels,
+                          const CwL2Config& cfg);
+
+/// Oblivious-threat-model wrapper: identical to running against an
+/// ObliviousTarget over `model`.
 AttackResult cw_l2_attack(nn::Sequential& model, const Tensor& images,
                           const std::vector<int>& labels,
                           const CwL2Config& cfg);

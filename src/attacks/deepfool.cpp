@@ -10,7 +10,7 @@
 
 namespace adv::attacks {
 
-AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
+AttackResult deepfool_attack(AttackTarget& target, const Tensor& images,
                              const std::vector<int>& labels,
                              const DeepFoolConfig& cfg) {
   if (images.dim(0) != labels.size()) {
@@ -25,26 +25,24 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
 
   for (std::size_t iter = 0;
        iter < cfg.max_iterations && !rows.none_active(); ++iter) {
-    const std::vector<std::size_t>& idx = rows.indices();
-    const std::size_t na = idx.size();
-    const bool sub = cfg.compact && na < n;
+    const CompactPlan plan(rows, cfg.compact);
+    const std::size_t na = plan.active();
     Tensor x_g;
-    if (sub) x_g = gather_rows(x, idx);
-    const Tensor& xcur = sub ? x_g : x;
+    const Tensor& xcur = plan.pick(x, x_g);
 
     // One caching forward per iteration; the K per-class backwards below
     // all read the same caches (backward treats them as read-only).
-    const Tensor logits = model.forward(xcur, nn::Mode::Eval);
+    const Tensor logits = target.logits(xcur, nn::Mode::Eval);
     const std::size_t k = logits.dim(1);
-    if (sub) stats.record_pass(n, na);
+    plan.record_passes(stats, 1);
 
     // Rows fooled by the current iterate get no step and retire after the
     // update loop.
     std::vector<std::uint8_t> fooled(na, 0);
     bool any_active = false;
     for (std::size_t a = 0; a < na; ++a) {
-      const std::size_t g = idx[a];
-      const std::size_t loc = sub ? a : g;
+      const std::size_t g = plan.global(a);
+      const std::size_t loc = plan.loc(a);
       if (static_cast<int>(argmax_row(logits, loc)) != labels[g]) {
         fooled[a] = 1;
       } else {
@@ -57,19 +55,19 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
       // seeded one-hot, all from the single forward above.
       std::vector<Tensor> grads(k);
       for (std::size_t j = 0; j < k; ++j) {
-        Tensor seed({sub ? na : n, k});
+        Tensor seed({plan.sub() ? na : n, k});
         for (std::size_t a = 0; a < na; ++a) {
-          if (!fooled[a]) seed[(sub ? a : idx[a]) * k + j] = 1.0f;
+          if (!fooled[a]) seed[plan.loc(a) * k + j] = 1.0f;
         }
-        grads[j] = model.backward(seed);
-        if (sub) stats.record_pass(n, na);
+        grads[j] = target.input_grad(xcur, seed);
+        plan.record_passes(stats, 1);
       }
 
       // Standard DeepFool step toward the nearest decision boundary.
       for (std::size_t a = 0; a < na; ++a) {
         if (fooled[a]) continue;
-        const std::size_t g = idx[a];
-        const std::size_t loc = sub ? a : g;
+        const std::size_t g = plan.global(a);
+        const std::size_t loc = plan.loc(a);
         const auto t0 = static_cast<std::size_t>(labels[g]);
         const float* z = logits.data() + loc * k;
         float best_ratio = std::numeric_limits<float>::infinity();
@@ -108,10 +106,11 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
       }
     }
 
-    // Collect first: retire() mutates the indices() vector `idx` aliases.
+    // Collect first: retire() mutates the indices() vector the plan
+    // aliases.
     std::vector<std::size_t> to_retire;
     for (std::size_t a = 0; a < na; ++a) {
-      if (fooled[a]) to_retire.push_back(idx[a]);
+      if (fooled[a]) to_retire.push_back(plan.global(a));
     }
     for (const std::size_t g : to_retire) {
       rows.retire(g);
@@ -124,9 +123,18 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
   AttackResult result;
   result.adversarial = x;
   result.success.assign(n, false);
-  const Tensor logits = model.forward(x, nn::Mode::Infer);
+  const Tensor logits = target.logits(x, nn::Mode::Infer);
   for (std::size_t i = 0; i < n; ++i) {
     result.success[i] = static_cast<int>(argmax_row(logits, i)) != labels[i];
+  }
+  if (target.has_aux()) {
+    // Detector-aware success: the example must also evade the detectors.
+    const std::vector<float> aux = target.aux_loss(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (aux[i] > 0.0f) result.success[i] = false;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
     if (!result.success[i]) {
       std::copy_n(images.data() + i * row, row,
                   result.adversarial.data() + i * row);
@@ -134,6 +142,13 @@ AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
   }
   fill_distortions(result, images);
   return result;
+}
+
+AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
+                             const std::vector<int>& labels,
+                             const DeepFoolConfig& cfg) {
+  ObliviousTarget target(model);
+  return deepfool_attack(target, images, labels, cfg);
 }
 
 }  // namespace adv::attacks

@@ -16,6 +16,16 @@ struct DeepFoolConfig {
   bool compact = true;
 };
 
+/// DeepFool against `target`. The linearized boundary search has no loss
+/// term to fold a detector penalty into, so auxiliary objective terms on
+/// detector-aware targets only tighten the success criterion (the crafted
+/// example must evade the detector bank), not the geometry of the steps.
+AttackResult deepfool_attack(AttackTarget& target, const Tensor& images,
+                             const std::vector<int>& labels,
+                             const DeepFoolConfig& cfg);
+
+/// Oblivious-threat-model wrapper: identical to running against an
+/// ObliviousTarget over `model`.
 AttackResult deepfool_attack(nn::Sequential& model, const Tensor& images,
                              const std::vector<int>& labels,
                              const DeepFoolConfig& cfg);

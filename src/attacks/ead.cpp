@@ -75,7 +75,7 @@ float elastic_distance(float beta, const float* adv, const float* nat,
 }  // namespace
 
 std::vector<AttackResult> ead_attack_multi(
-    nn::Sequential& model, const Tensor& images,
+    AttackTarget& target, const Tensor& images,
     const std::vector<int>& labels, const EadConfig& cfg,
     std::span<const DecisionRule> rules) {
   if (images.rank() == 0 || images.dim(0) != labels.size()) {
@@ -91,6 +91,7 @@ std::vector<AttackResult> ead_attack_multi(
   const std::size_t n = images.dim(0);
   const std::size_t row = images.numel() / n;
   const std::size_t nrules = rules.size();
+  const bool aux = target.has_aux();
 
   std::vector<AttackResult> results(nrules);
   std::vector<std::vector<float>> best_dist(nrules);
@@ -126,38 +127,39 @@ std::vector<AttackResult> ead_attack_multi(
                        std::sqrt(1.0f - static_cast<float>(k) /
                                             static_cast<float>(cfg.iterations));
 
-      const std::vector<std::size_t>& idx = rows.indices();
-      const std::size_t na = idx.size();
       // Compacted sub-batch: gather the active rows densely so the model
       // passes below are [na, ...] instead of [n, ...].
-      const bool sub = cfg.compact && na < n;
+      const CompactPlan plan(rows, cfg.compact);
+      const std::size_t na = plan.active();
       Tensor y_g, x0_g;
       std::vector<int> lab_g;
       std::vector<float> w_g;
-      if (sub) {
-        y_g = gather_rows(y, idx);
-        x0_g = gather_rows(images, idx);
-        lab_g = gather(labels, idx);
-        w_g = gather(c, idx);
-      } else {
+      if (!plan.sub()) {
         w_dense = c;
         for (std::size_t i = 0; i < n; ++i) {
           if (!rows.active(i)) w_dense[i] = 0.0f;
         }
       }
-      const Tensor& ycur = sub ? y_g : y;
-      const Tensor& x0 = sub ? x0_g : images;
-      const std::vector<int>& lab = sub ? lab_g : labels;
-      const std::vector<float>& w = sub ? w_g : w_dense;
+      const Tensor& ycur = plan.pick(y, y_g);
+      const Tensor& x0 = plan.pick(images, x0_g);
+      const std::vector<int>& lab = plan.pick(labels, lab_g);
+      const std::vector<float>& w = plan.sub() ? plan.pick(c, w_g) : w_dense;
 
-      // Gradient of g(y) = c*f(y) + ||y - x0||_2^2 at the (FISTA) point y.
+      // Gradient of g(y) = c*f(y) + ||y - x0||_2^2 at the (FISTA) point y
+      // — plus, on detector-aware targets, the c-weighted detector
+      // penalty c*aux(y) (the Carlini–Wagner detector-evasion objective).
+      // The aux gradient runs its own model passes, so it must come after
+      // the hinge backward (which consumes the Eval caches).
       HingeEval eval =
-          eval_attack_hinge(model, ycur, lab, cfg.kappa, cfg.mode);
-      Tensor grad = attack_hinge_input_gradient(model, eval, lab,
+          eval_attack_hinge(target, ycur, lab, cfg.kappa, cfg.mode);
+      Tensor grad = attack_hinge_input_gradient(target, ycur, eval, lab,
                                                 cfg.kappa, w, cfg.mode);
-      if (sub) {
-        stats.record_pass(n, na);  // forward
-        stats.record_pass(n, na);  // backward
+      plan.record_passes(stats, 2);  // forward + backward
+      if (aux) {
+        const Tensor ag = target.aux_input_grad(ycur, w);
+        for (std::size_t i = 0, m = grad.numel(); i < m; ++i) {
+          grad[i] += ag[i];
+        }
       }
       {
         float* g = grad.data();
@@ -173,7 +175,7 @@ std::vector<AttackResult> ead_attack_multi(
       axpy_inplace(z, -lr, grad);
       Tensor x_new;
       shrink_project(z, x0, cfg.beta, x_new);
-      if (!sub && na < n) {
+      if (!plan.sub() && na < n) {
         // Freeze retired rows: their iterate must not move, so the
         // full-batch x_new gets their frozen x rows back before the
         // candidate eval and the y/x updates below.
@@ -185,16 +187,22 @@ std::vector<AttackResult> ead_attack_multi(
 
       // Candidate bookkeeping on the new iterate under every rule.
       // Forward-only: Mode::Infer skips the backward-cache copies.
-      HingeEval cand = eval_attack_hinge(model, x_new, lab, cfg.kappa,
+      HingeEval cand = eval_attack_hinge(target, x_new, lab, cfg.kappa,
                                          cfg.mode, nn::Mode::Infer);
-      if (sub) stats.record_pass(n, na);
+      plan.record_passes(stats, 1);
+      // Detector-aware candidates only count when they also evade the
+      // detector bank (aux <= 0), and their early-abort objective tracks
+      // the penalized loss.
+      std::vector<float> aux_cand;
+      if (aux) aux_cand = target.aux_loss(x_new);
       to_retire.clear();
       for (std::size_t a = 0; a < na; ++a) {
-        const std::size_t g = idx[a];        // global batch row
-        const std::size_t loc = sub ? a : g; // row within the sub-batch
+        const std::size_t g = plan.global(a);  // global batch row
+        const std::size_t loc = plan.loc(a);   // row within the sub-batch
         const float* adv = x_new.data() + loc * row;
         const float* nat = images.data() + g * row;
-        if (attack_succeeded(cand.margin[loc], cfg.kappa)) {
+        const bool evades = !aux || aux_cand[loc] <= 0.0f;
+        if (attack_succeeded(cand.margin[loc], cfg.kappa) && evades) {
           succeeded_this_step[g] = true;
           for (std::size_t r = 0; r < nrules; ++r) {
             const float dist = rule_distance(rules[r], cfg.beta, adv, nat,
@@ -208,10 +216,12 @@ std::vector<AttackResult> ead_attack_multi(
           }
         }
         if (plateau.enabled()) {
-          // Per-row objective: c*f(x) + elastic-net distortion. Computed
-          // from bitwise-identical values in the compacted and dense
-          // paths, so the retirement schedule is identical too.
-          const float obj = c[g] * cand.f[loc] +
+          // Per-row objective: c*f(x) + elastic-net distortion (plus the
+          // c-weighted detector penalty on detector-aware targets).
+          // Computed from bitwise-identical values in the compacted and
+          // dense paths, so the retirement schedule is identical too.
+          const float penalty = aux ? aux_cand[loc] : 0.0f;
+          const float obj = c[g] * (cand.f[loc] + penalty) +
                             elastic_distance(cfg.beta, adv, nat, row);
           if (plateau.observe(g, obj)) to_retire.push_back(g);
         }
@@ -221,8 +231,8 @@ std::vector<AttackResult> ead_attack_multi(
       // y. One shared per-row loop serves both paths (bitwise identity).
       const float zeta = static_cast<float>(k) / static_cast<float>(k + 3);
       for (std::size_t a = 0; a < na; ++a) {
-        const std::size_t g = idx[a];
-        const std::size_t loc = sub ? a : g;
+        const std::size_t g = plan.global(a);
+        const std::size_t loc = plan.loc(a);
         const float* pn = x_new.data() + loc * row;
         float* py = y.data() + g * row;
         float* px = x.data() + g * row;
@@ -263,13 +273,28 @@ std::vector<AttackResult> ead_attack_multi(
   return results;
 }
 
-AttackResult ead_attack(nn::Sequential& model, const Tensor& images,
+std::vector<AttackResult> ead_attack_multi(
+    nn::Sequential& model, const Tensor& images,
+    const std::vector<int>& labels, const EadConfig& cfg,
+    std::span<const DecisionRule> rules) {
+  ObliviousTarget target(model);
+  return ead_attack_multi(target, images, labels, cfg, rules);
+}
+
+AttackResult ead_attack(AttackTarget& target, const Tensor& images,
                         const std::vector<int>& labels,
                         const EadConfig& cfg) {
   const DecisionRule rules[1] = {cfg.rule};
   std::vector<AttackResult> results =
-      ead_attack_multi(model, images, labels, cfg, rules);
+      ead_attack_multi(target, images, labels, cfg, rules);
   return std::move(results.front());
+}
+
+AttackResult ead_attack(nn::Sequential& model, const Tensor& images,
+                        const std::vector<int>& labels,
+                        const EadConfig& cfg) {
+  ObliviousTarget target(model);
+  return ead_attack(target, images, labels, cfg);
 }
 
 }  // namespace adv::attacks

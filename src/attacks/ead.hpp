@@ -57,10 +57,18 @@ struct EadConfig {
   std::string metrics_name = "ead";
 };
 
-/// Runs batched EAD against `model` (logit outputs). In untargeted mode
+/// Runs batched EAD against `target` (logit outputs). In untargeted mode
 /// `labels` are the true labels of `images` (every image is assumed
 /// correctly classified — the paper attacks only such images); in
-/// targeted mode they are the attack targets.
+/// targeted mode they are the attack targets. On detector-aware targets
+/// the c-weighted detector penalty joins the objective (the
+/// Carlini–Wagner detector-evasion formulation) and a candidate only
+/// counts as successful when it also evades the detector bank.
+AttackResult ead_attack(AttackTarget& target, const Tensor& images,
+                        const std::vector<int>& labels, const EadConfig& cfg);
+
+/// Oblivious-threat-model wrapper: identical to running against an
+/// ObliviousTarget over `model`.
 AttackResult ead_attack(nn::Sequential& model, const Tensor& images,
                         const std::vector<int>& labels, const EadConfig& cfg);
 
@@ -68,6 +76,11 @@ AttackResult ead_attack(nn::Sequential& model, const Tensor& images,
 /// EVERY rule in `rules` simultaneously (cfg.rule is ignored). The paper
 /// reports the EN and L1 decision rules for identical attack settings, so
 /// sharing one run halves attack compute. Result i corresponds to rules[i].
+std::vector<AttackResult> ead_attack_multi(AttackTarget& target,
+                                           const Tensor& images,
+                                           const std::vector<int>& labels,
+                                           const EadConfig& cfg,
+                                           std::span<const DecisionRule> rules);
 std::vector<AttackResult> ead_attack_multi(nn::Sequential& model,
                                            const Tensor& images,
                                            const std::vector<int>& labels,

@@ -123,4 +123,58 @@ std::vector<T> gather(const std::vector<T>& v,
   return out;
 }
 
+/// One iteration's compaction decision, shared by every attack: whether
+/// the model passes run on a dense gather of the active rows or on the
+/// full batch, plus the gather/index plumbing both paths need. Built
+/// fresh each iteration (it aliases the ActiveSet's index vector, which
+/// retire() mutates — attacks collect retirements and apply them after
+/// the iteration's last use of the plan). All model traffic — including
+/// through composed AttackTargets — flows through pick()'d tensors, so
+/// compaction never bypasses the target abstraction.
+class CompactPlan {
+ public:
+  CompactPlan(const ActiveSet& rows, bool compact)
+      : idx_(rows.indices()),
+        total_(rows.size()),
+        sub_(compact && rows.active_count() < rows.size()) {}
+
+  /// True when this iteration runs on a gathered sub-batch.
+  bool sub() const { return sub_; }
+  std::size_t total() const { return total_; }
+  std::size_t active() const { return idx_.size(); }
+  /// Global row index of active row `a`.
+  std::size_t global(std::size_t a) const { return idx_[a]; }
+  /// Row of active row `a` within the tensors pick() returned.
+  std::size_t loc(std::size_t a) const { return sub_ ? a : idx_[a]; }
+
+  /// Returns the batch the model should see: `full` untouched in dense
+  /// mode, or a gather of the active rows materialized into `storage`.
+  const Tensor& pick(const Tensor& full, Tensor& storage) const {
+    if (!sub_) return full;
+    storage = gather_rows(full, idx_);
+    return storage;
+  }
+  template <typename T>
+  const std::vector<T>& pick(const std::vector<T>& full,
+                             std::vector<T>& storage) const {
+    if (!sub_) return full;
+    storage = gather(full, idx_);
+    return storage;
+  }
+
+  /// Credits `count` model passes run at the plan's density (no-op in
+  /// dense mode, where nothing was saved).
+  void record_passes(EngineStats& stats, std::size_t count) const {
+    if (!sub_) return;
+    for (std::size_t i = 0; i < count; ++i) {
+      stats.record_pass(total_, idx_.size());
+    }
+  }
+
+ private:
+  const std::vector<std::size_t>& idx_;
+  std::size_t total_;
+  bool sub_;
+};
+
 }  // namespace adv::attacks

@@ -10,7 +10,7 @@
 
 namespace adv::attacks {
 
-AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
+AttackResult fgsm_attack(AttackTarget& target, const Tensor& images,
                          const std::vector<int>& labels,
                          const FgsmConfig& cfg) {
   if (images.dim(0) != labels.size()) {
@@ -28,25 +28,29 @@ AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
   ActiveSet rows(n);
   EngineStats stats;
   std::vector<std::size_t> to_retire;
+  std::vector<float> aux_w;
   for (std::size_t k = 0; k < cfg.iterations && !rows.none_active(); ++k) {
-    const std::vector<std::size_t>& idx = rows.indices();
-    const std::size_t na = idx.size();
-    const bool sub = cfg.compact && na < n;
+    const CompactPlan plan(rows, cfg.compact);
+    const std::size_t na = plan.active();
     Tensor x_g;
     std::vector<int> lab_g;
-    if (sub) {
-      x_g = gather_rows(x, idx);
-      lab_g = gather(labels, idx);
-    }
-    const Tensor& xcur = sub ? x_g : x;
-    const std::vector<int>& lab = sub ? lab_g : labels;
+    const Tensor& xcur = plan.pick(x, x_g);
+    const std::vector<int>& lab = plan.pick(labels, lab_g);
 
-    const Tensor logits = model.forward(xcur, nn::Mode::Eval);
+    const Tensor logits = target.logits(xcur, nn::Mode::Eval);
     loss.forward(logits, lab);
-    const Tensor grad = model.backward(loss.backward());
-    if (sub) {
-      stats.record_pass(n, na);  // forward
-      stats.record_pass(n, na);  // backward
+    Tensor grad = target.input_grad(xcur, loss.backward());
+    plan.record_passes(stats, 2);  // forward + backward
+
+    if (target.has_aux()) {
+      // Descend the detector penalty alongside the CE ascent. The CE seed
+      // is (softmax - onehot) / batch, so weighting the aux term by
+      // 1/batch keeps the two at the same per-row scale in the compacted
+      // and dense paths alike.
+      const float w = 1.0f / static_cast<float>(xcur.dim(0));
+      aux_w.assign(xcur.dim(0), w);
+      const Tensor ag = target.aux_input_grad(xcur, aux_w);
+      for (std::size_t i = 0, m = grad.numel(); i < m; ++i) grad[i] -= ag[i];
     }
 
     // Sign step + eps-ball/[0,1] projection per active row. The CE seed is
@@ -56,8 +60,8 @@ AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
     // unchanged is at a fixed point of this deterministic map and retires.
     to_retire.clear();
     for (std::size_t a = 0; a < na; ++a) {
-      const std::size_t g = idx[a];
-      const std::size_t loc = sub ? a : g;
+      const std::size_t g = plan.global(a);
+      const std::size_t loc = plan.loc(a);
       float* px = x.data() + g * row;
       const float* pg = grad.data() + loc * row;
       const float* p0 = images.data() + g * row;
@@ -85,9 +89,16 @@ AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
   result.adversarial = x;
   result.success.assign(n, false);
   const HingeEval eval =
-      eval_untargeted_hinge(model, x, labels, 0.0f, nn::Mode::Infer);
+      eval_untargeted_hinge(target, x, labels, 0.0f, nn::Mode::Infer);
   for (std::size_t i = 0; i < n; ++i) {
     result.success[i] = eval.margin[i] > 0.0f;  // misclassified
+  }
+  if (target.has_aux()) {
+    // Detector-aware success: the example must also evade the detectors.
+    const std::vector<float> aux = target.aux_loss(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (aux[i] > 0.0f) result.success[i] = false;
+    }
   }
   // Keep natural images for failed rows so distortion stats stay honest.
   for (std::size_t i = 0; i < n; ++i) {
@@ -98,6 +109,13 @@ AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
   }
   fill_distortions(result, images);
   return result;
+}
+
+AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
+                         const std::vector<int>& labels,
+                         const FgsmConfig& cfg) {
+  ObliviousTarget target(model);
+  return fgsm_attack(target, images, labels, cfg);
 }
 
 }  // namespace adv::attacks

@@ -17,8 +17,16 @@ struct FgsmConfig {
   bool compact = true;
 };
 
-/// Untargeted (I-)FGSM: ascend the cross-entropy loss of the true label.
-/// Success means the undefended model misclassifies the result.
+/// Untargeted (I-)FGSM: ascend the cross-entropy loss of the true label
+/// through `target`. On detector-aware targets the auxiliary detector
+/// penalty is descended alongside (the sign step follows the combined
+/// gradient) and success additionally requires evading the detectors.
+AttackResult fgsm_attack(AttackTarget& target, const Tensor& images,
+                         const std::vector<int>& labels,
+                         const FgsmConfig& cfg);
+
+/// Oblivious-threat-model wrapper: identical to running against an
+/// ObliviousTarget over `model`.
 AttackResult fgsm_attack(nn::Sequential& model, const Tensor& images,
                          const std::vector<int>& labels,
                          const FgsmConfig& cfg);

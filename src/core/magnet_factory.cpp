@@ -2,7 +2,29 @@
 
 #include <stdexcept>
 
+#include "magnet/detector_grad.hpp"
+
 namespace adv::core {
+namespace {
+
+// The reformer auto-encoder a variant serves with — must match
+// build_magnet's selection exactly so gray-box attackers craft through
+// the same (memoized) zoo instance the defense uses.
+std::shared_ptr<nn::Sequential> reformer_ae_for(ModelZoo& zoo, DatasetId id,
+                                                MagnetVariant variant,
+                                                magnet::ReconLoss ae_loss) {
+  const ScaleConfig& cfg = zoo.scale();
+  const bool wide =
+      variant == MagnetVariant::Wide || variant == MagnetVariant::WideJsd;
+  const std::size_t filters =
+      wide ? cfg.wide_filters : cfg.default_filters(id);
+  const magnet::AeArch arch = id == DatasetId::Mnist
+                                  ? magnet::AeArch::MnistDeep
+                                  : magnet::AeArch::Cifar;
+  return zoo.autoencoder(id, arch, filters, ae_loss);
+}
+
+}  // namespace
 
 const char* to_string(MagnetVariant v) {
   switch (v) {
@@ -64,6 +86,36 @@ std::shared_ptr<magnet::MagNetPipeline> build_magnet(
 
   pipeline->calibrate(zoo.dataset(id).val.images, cfg.detector_fpr);
   return pipeline;
+}
+
+AttackTargetBundle build_attack_target(ModelZoo& zoo, DatasetId id,
+                                       attacks::ThreatModel tm,
+                                       MagnetVariant variant,
+                                       magnet::ReconLoss ae_loss) {
+  AttackTargetBundle b;
+  b.classifier = zoo.classifier(id);
+  switch (tm) {
+    case attacks::ThreatModel::Oblivious:
+      b.target = std::make_unique<attacks::ObliviousTarget>(*b.classifier);
+      break;
+    case attacks::ThreatModel::GrayBox:
+      b.reformer_ae = reformer_ae_for(zoo, id, variant, ae_loss);
+      b.target = std::make_unique<attacks::GrayBoxTarget>(*b.reformer_ae,
+                                                          *b.classifier);
+      break;
+    case attacks::ThreatModel::DetectorAware:
+      // The attacker models the calibrated defense itself: the pipeline's
+      // own detector bank feeds the evasion terms, and the zoo's
+      // memoization guarantees reformer_ae is the very instance the
+      // pipeline's reformer wraps.
+      b.pipeline = build_magnet(zoo, id, variant, ae_loss);
+      b.reformer_ae = reformer_ae_for(zoo, id, variant, ae_loss);
+      b.aux = magnet::detector_aux_terms(*b.pipeline);
+      b.target = std::make_unique<attacks::DetectorAwareTarget>(
+          b.reformer_ae.get(), *b.classifier, b.aux);
+      break;
+  }
+  return b;
 }
 
 }  // namespace adv::core

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "attacks/target.hpp"
 #include "core/model_zoo.hpp"
 #include "magnet/pipeline.hpp"
 
@@ -27,6 +29,34 @@ const char* to_string(MagnetVariant v);
 /// the auto-encoder reconstruction training loss (paper Figs. 12/13).
 std::shared_ptr<magnet::MagNetPipeline> build_magnet(
     ModelZoo& zoo, DatasetId id, MagnetVariant variant,
+    magnet::ReconLoss ae_loss = magnet::ReconLoss::Mse);
+
+/// An AttackTarget plus everything that must outlive it. The target holds
+/// plain references into the owned models (the attack layer is ownership
+/// agnostic), so keep the bundle alive for as long as the target is used.
+struct AttackTargetBundle {
+  std::unique_ptr<attacks::AttackTarget> target;
+
+  // Keep-alives backing the target's references.
+  std::shared_ptr<nn::Sequential> classifier;
+  std::shared_ptr<nn::Sequential> reformer_ae;  // null for oblivious
+  std::vector<std::shared_ptr<attacks::AuxObjective>> aux;  // detector-aware
+  /// The calibrated pipeline the detector-aware terms were derived from
+  /// (null otherwise). Exposed so callers can evaluate the very defense
+  /// instance the attacker modeled.
+  std::shared_ptr<magnet::MagNetPipeline> pipeline;
+};
+
+/// Builds the attacker's view of dataset `id` under threat model `tm`
+/// against the given MagNet variant:
+///   Oblivious     — bare classifier (variant unused beyond defaults);
+///   GrayBox       — crafts through the variant's reformer auto-encoder
+///                   (the same zoo instance the defense serves with);
+///   DetectorAware — gray-box composition plus one hinged evasion term
+///                   per calibrated detector of the variant's pipeline.
+AttackTargetBundle build_attack_target(
+    ModelZoo& zoo, DatasetId id, attacks::ThreatModel tm,
+    MagnetVariant variant = MagnetVariant::Default,
     magnet::ReconLoss ae_loss = magnet::ReconLoss::Mse);
 
 }  // namespace adv::core

@@ -346,13 +346,37 @@ attacks::AttackResult ModelZoo::cached_attack(
 
 attacks::AttackResult ModelZoo::run_attack(DatasetId id,
                                            const attacks::Attack& attack) {
+  // The classifier is only needed on a cache miss, so the oblivious
+  // target is built inside the compute lambda — a warm cache never
+  // triggers classifier training.
   const std::string key = std::string("atk_") + to_string(id) + "_" +
                           cfg_.cache_tag() + "_" + attack.tag();
   bool computed = false;
   const attacks::AttackResult& r = cached_attack(key, [&] {
     computed = true;
     const AttackSet& s = attack_set(id);
-    return attack.run(*classifier(id), s.images, s.labels);
+    attacks::ObliviousTarget target(*classifier(id));
+    return attack.run(target, s.images, s.labels);
+  });
+  if (!computed && obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("attack/" + attack.name() + "/cache_hits")
+        .add(1);
+  }
+  return r;
+}
+
+attacks::AttackResult ModelZoo::run_attack(DatasetId id,
+                                           const attacks::Attack& attack,
+                                           attacks::AttackTarget& target) {
+  const std::string key = std::string("atk_") + to_string(id) + "_" +
+                          cfg_.cache_tag() + "_" + attack.tag() +
+                          target.tag_suffix();
+  bool computed = false;
+  const attacks::AttackResult& r = cached_attack(key, [&] {
+    computed = true;
+    const AttackSet& s = attack_set(id);
+    return attack.run(target, s.images, s.labels);
   });
   if (!computed && obs::enabled()) {
     obs::MetricsRegistry::global()

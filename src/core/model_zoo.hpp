@@ -97,6 +97,14 @@ class ModelZoo {
   attacks::AttackResult run_attack(DatasetId id,
                                    const attacks::Attack& attack);
 
+  /// Threat-model-aware variant: crafts through `target` instead of the
+  /// bare classifier. The cache key gains target.tag_suffix(), so
+  /// gray-box/detector-aware artifacts never collide with oblivious ones
+  /// (whose empty suffix preserves every pre-existing cache key).
+  attacks::AttackResult run_attack(DatasetId id,
+                                   const attacks::Attack& attack,
+                                   attacks::AttackTarget& target);
+
   /// Scale-derived override defaults (iterations, binary-search steps,
   /// initial c, learning rate) for building registry attacks that match
   /// this zoo's experiment budget.

@@ -34,7 +34,7 @@ float Detector::threshold() const {
   return threshold_;
 }
 
-std::vector<bool> Detector::reject(const Tensor& batch) {
+std::vector<bool> Detector::reject(const Tensor& batch) const {
   const float t = threshold();  // throws if not calibrated
   const std::vector<float> s = scores(batch);
   std::vector<bool> out(s.size());
@@ -51,7 +51,7 @@ ReconstructionDetector::ReconstructionDetector(
   }
 }
 
-std::vector<float> ReconstructionDetector::scores(const Tensor& batch) {
+std::vector<float> ReconstructionDetector::scores(const Tensor& batch) const {
   const Tensor recon = nn::predict(*ae_, batch);
   const std::size_t n = batch.dim(0);
   const std::size_t row = batch.numel() / n;
@@ -106,7 +106,7 @@ float jensen_shannon_divergence(std::span<const float> p,
   return static_cast<float>(std::max(acc, 0.0));
 }
 
-std::vector<float> JsdDetector::scores(const Tensor& batch) {
+std::vector<float> JsdDetector::scores(const Tensor& batch) const {
   const Tensor recon = nn::predict(*ae_, batch);
   const Tensor logits_x = nn::predict(*classifier_, batch);
   const Tensor logits_r = nn::predict(*classifier_, recon);

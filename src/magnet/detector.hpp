@@ -26,8 +26,10 @@ class Detector {
  public:
   virtual ~Detector() = default;
 
-  /// Anomaly score per batch row; higher means more anomalous.
-  virtual std::vector<float> scores(const Tensor& batch) = 0;
+  /// Anomaly score per batch row; higher means more anomalous. Const:
+  /// scoring never changes the detector's calibration (the models it
+  /// consults are behind shared_ptrs and run forward-only).
+  virtual std::vector<float> scores(const Tensor& batch) const = 0;
 
   virtual std::string name() const = 0;
 
@@ -45,7 +47,7 @@ class Detector {
 
   /// reject[i] == true iff scores(batch)[i] > threshold. Requires a prior
   /// calibrate()/set_threshold().
-  std::vector<bool> reject(const Tensor& batch);
+  std::vector<bool> reject(const Tensor& batch) const;
 
  private:
   float threshold_ = 0.0f;
@@ -58,10 +60,16 @@ class ReconstructionDetector final : public Detector {
   /// (average, so thresholds are comparable across image sizes).
   ReconstructionDetector(std::shared_ptr<nn::Sequential> autoencoder, int p);
 
-  std::vector<float> scores(const Tensor& batch) override;
+  std::vector<float> scores(const Tensor& batch) const override;
   std::string name() const override {
     return "recon_l" + std::to_string(p_);
   }
+
+  /// The models/parameters a detector-aware attacker differentiates
+  /// through (attacks build gradient terms from these; see
+  /// magnet/detector_grad.hpp).
+  const std::shared_ptr<nn::Sequential>& autoencoder() const { return ae_; }
+  int p() const { return p_; }
 
  private:
   std::shared_ptr<nn::Sequential> ae_;
@@ -74,10 +82,16 @@ class JsdDetector final : public Detector {
   JsdDetector(std::shared_ptr<nn::Sequential> autoencoder,
               std::shared_ptr<nn::Sequential> classifier, float temperature);
 
-  std::vector<float> scores(const Tensor& batch) override;
+  std::vector<float> scores(const Tensor& batch) const override;
   std::string name() const override {
     return "jsd_T" + std::to_string(static_cast<int>(temperature_));
   }
+
+  const std::shared_ptr<nn::Sequential>& autoencoder() const { return ae_; }
+  const std::shared_ptr<nn::Sequential>& classifier() const {
+    return classifier_;
+  }
+  float temperature() const { return temperature_; }
 
  private:
   std::shared_ptr<nn::Sequential> ae_;

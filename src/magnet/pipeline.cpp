@@ -44,7 +44,7 @@ void MagNetPipeline::calibrate(const Tensor& clean_validation, float fpr) {
 }
 
 DefenseOutcome MagNetPipeline::classify(const Tensor& batch,
-                                        DefenseScheme scheme) {
+                                        DefenseScheme scheme) const {
   const std::size_t n = batch.dim(0);
   DefenseOutcome out;
   out.rejected.assign(n, false);
@@ -56,11 +56,16 @@ DefenseOutcome MagNetPipeline::classify(const Tensor& batch,
                             reformer_ != nullptr;
 
   if (use_detectors) {
-    for (auto& d : detectors_) {
-      const std::vector<bool> r = d->reject(batch);
+    out.readings.reserve(detectors_.size());
+    for (const auto& d : detectors_) {
+      DetectorReading reading;
+      reading.name = d->name();
+      reading.threshold = d->threshold();  // throws if not calibrated
+      reading.scores = d->scores(batch);
       for (std::size_t i = 0; i < n; ++i) {
-        if (r[i]) out.rejected[i] = true;
+        if (reading.reject_row(i)) out.rejected[i] = true;
       }
+      out.readings.push_back(std::move(reading));
     }
   }
 
@@ -72,7 +77,7 @@ DefenseOutcome MagNetPipeline::classify(const Tensor& batch,
 
 float MagNetPipeline::clean_accuracy(const Tensor& images,
                                      const std::vector<int>& labels,
-                                     DefenseScheme scheme) {
+                                     DefenseScheme scheme) const {
   if (images.dim(0) != labels.size()) {
     throw std::invalid_argument("clean_accuracy: image/label count mismatch");
   }

@@ -21,6 +21,17 @@ enum class DefenseScheme { None, DetectorOnly, ReformerOnly, Full };
 
 const char* to_string(DefenseScheme s);
 
+/// One detector's raw output on a batch: its name, calibrated threshold,
+/// and per-row scores. reject_row(i) reproduces the detector's decision
+/// (score > threshold) without re-running the models.
+struct DetectorReading {
+  std::string name;
+  float threshold = 0.0f;
+  std::vector<float> scores;
+
+  bool reject_row(std::size_t i) const { return scores[i] > threshold; }
+};
+
 struct DefenseOutcome {
   /// True where some detector rejected the input (always false under
   /// None/ReformerOnly).
@@ -28,6 +39,10 @@ struct DefenseOutcome {
   /// Predicted label after the (possibly active) reformer; computed for
   /// every row including rejected ones.
   std::vector<int> predicted;
+  /// Raw scores + thresholds per detector, in bank order — says WHICH
+  /// detector fired, not just that one did. Empty when the scheme runs no
+  /// detectors. `rejected` is exactly the OR of reject_row over readings.
+  std::vector<DetectorReading> readings;
 };
 
 /// Reformer: projects inputs onto the learned data manifold via the
@@ -50,6 +65,7 @@ class MagNetPipeline {
 
   std::size_t detector_count() const { return detectors_.size(); }
   Detector& detector(std::size_t i) { return *detectors_.at(i); }
+  const Detector& detector(std::size_t i) const { return *detectors_.at(i); }
   nn::Sequential& classifier() { return *classifier_; }
 
   /// Calibrates every detector's threshold at `fpr` on clean validation
@@ -58,13 +74,14 @@ class MagNetPipeline {
 
   /// Runs the defense. Detectors must be calibrated when the scheme uses
   /// them; a Full/ReformerOnly scheme without a reformer degrades to the
-  /// respective detector-only/no-defense behaviour.
+  /// respective detector-only/no-defense behaviour. Const (and callable
+  /// on a const pipeline): serving never mutates the defense.
   DefenseOutcome classify(const Tensor& batch,
-                          DefenseScheme scheme = DefenseScheme::Full);
+                          DefenseScheme scheme = DefenseScheme::Full) const;
 
   /// Accuracy on clean data: fraction neither rejected nor misclassified.
   float clean_accuracy(const Tensor& images, const std::vector<int>& labels,
-                       DefenseScheme scheme = DefenseScheme::Full);
+                       DefenseScheme scheme = DefenseScheme::Full) const;
 
  private:
   std::shared_ptr<nn::Sequential> classifier_;

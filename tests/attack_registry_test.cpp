@@ -182,7 +182,7 @@ TEST(AttackRegistry, OutOfTreeAttackCanRegister) {
     std::string tag() const override { return "null"; }
 
    protected:
-    AttackResult run_impl(nn::Sequential&, const Tensor& images,
+    AttackResult run_impl(AttackTarget&, const Tensor& images,
                           const std::vector<int>& labels) const override {
       AttackResult r;
       r.adversarial = images;
@@ -199,6 +199,86 @@ TEST(AttackRegistry, OutOfTreeAttackCanRegister) {
   nn::Sequential m = linear_model();
   const auto r = make_attack("null")->run(m, smoke_batch(), kLabels);
   EXPECT_EQ(r.success_count(), 0u);
+}
+
+// --- strict overrides --------------------------------------------------
+//
+// Builtin registrations declare which AttackOverrides fields the attack
+// consumes; create() rejects anything else instead of silently ignoring
+// it (the failure mode: a sweep "varying" epsilon against cw-l2 would
+// otherwise run the same attack N times).
+
+TEST(AttackRegistry, StrictOverridesRejectIrrelevantField) {
+  try {
+    make_attack("deepfool", {.epsilon = 0.1f});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("epsilon"), std::string::npos) << msg;  // the field
+    EXPECT_NE(msg.find("deepfool"), std::string::npos) << msg;  // the attack
+  }
+}
+
+TEST(AttackRegistry, StrictOverridesRejectEveryBuiltinMismatch) {
+  // One irrelevant field per builtin.
+  EXPECT_THROW(make_attack("fgsm", {.kappa = 1.0f}), std::invalid_argument);
+  EXPECT_THROW(make_attack("ifgsm", {.beta = 0.1f}), std::invalid_argument);
+  EXPECT_THROW(make_attack("cw-l2", {.epsilon = 0.1f}),
+               std::invalid_argument);
+  EXPECT_THROW(make_attack("deepfool", {.kappa = 1.0f}),
+               std::invalid_argument);
+  EXPECT_THROW(make_attack("ead", {.overshoot = 0.02f}),
+               std::invalid_argument);
+}
+
+TEST(AttackRegistry, StrictOverridesAcceptRelevantFields) {
+  EXPECT_NO_THROW(make_attack("fgsm", {.epsilon = 0.1f, .iterations = 5}));
+  EXPECT_NO_THROW(make_attack(
+      "cw-l2", {.kappa = 1.0f, .learning_rate = 0.01f, .initial_c = 0.1f,
+                .iterations = 10, .binary_search_steps = 2}));
+  EXPECT_NO_THROW(make_attack(
+      "ead", {.kappa = 1.0f, .beta = 0.01f, .rule = DecisionRule::L1}));
+  EXPECT_NO_THROW(make_attack("deepfool", {.overshoot = 0.02f}));
+}
+
+TEST(AttackRegistry, RejectedOverrideBumpsCounter) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  auto& counter =
+      obs::MetricsRegistry::global().counter("attack/overrides_rejected");
+  const std::uint64_t before = counter.value();
+  EXPECT_THROW(make_attack("fgsm", {.kappa = 5.0f}), std::invalid_argument);
+  EXPECT_EQ(counter.value(), before + 1);
+  obs::set_enabled(was_enabled);
+}
+
+TEST(AttackRegistry, LegacyTwoArgRegistrationStaysPermissive) {
+  // Out-of-tree attacks registered without a relevant-field list keep the
+  // old accept-everything behaviour ("null" was added by the test above;
+  // register a fallback if it ran in isolation).
+  auto& reg = AttackRegistry::instance();
+  if (!reg.contains("null")) {
+    class NoopAttack final : public Attack {
+     public:
+      std::string name() const override { return "null"; }
+      std::string tag() const override { return "null"; }
+
+     protected:
+      AttackResult run_impl(AttackTarget&, const Tensor& images,
+                            const std::vector<int>& labels) const override {
+        AttackResult r;
+        r.adversarial = images;
+        r.success.assign(labels.size(), false);
+        fill_distortions(r, images);
+        return r;
+      }
+    };
+    reg.add("null", [](const AttackOverrides&) {
+      return std::make_unique<NoopAttack>();
+    });
+  }
+  EXPECT_NO_THROW(make_attack("null", {.kappa = 3.0f, .epsilon = 0.7f}));
 }
 
 }  // namespace

@@ -204,7 +204,11 @@ TEST(SynObjects, RejectsBadInputs) {
 class ImageIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "adv_imgio_test";
+    // Per-test dir: ctest runs each test in its own process, so a shared
+    // path would let one test's TearDown remove_all another's files.
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("adv_imgio_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -122,8 +122,12 @@ class SelfHealingZooTest : public ::testing::Test {
     cfg_.attack_count = 4;
     cfg_.attack_iterations = 2;
     cfg_.binary_search_steps = 1;
-    cfg_.cache_dir = std::filesystem::temp_directory_path() /
-                     "adv_self_healing_zoo_test";
+    // Per-test dir: ctest runs each test as its own process, so a shared
+    // path would let one test's SetUp remove_all another's staged files.
+    cfg_.cache_dir =
+        std::filesystem::temp_directory_path() /
+        (std::string("adv_self_healing_zoo_test_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::remove_all(cfg_.cache_dir);
   }
   void TearDown() override {

@@ -13,11 +13,16 @@
 // one window indexing all produce O(1) errors).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <vector>
 
+#include "attacks/target.hpp"
+#include "magnet/detector.hpp"
+#include "magnet/detector_grad.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
@@ -314,6 +319,156 @@ TEST(GradCheck, MaeLoss) {
   }
   nn::MaeLoss loss;
   check_regression_loss(loss, pred, target, "MAE");
+}
+
+// --- composed attack targets ------------------------------------------
+//
+// The gray-box threat model differentiates through classifier(AE(x));
+// AttackTarget::input_grad chains Sequential backwards across the model
+// boundary. Verify the whole composition against central differences:
+// L(x) = sum_i w_i * logits(x)_i, analytic d(L)/d(x) =
+// target.input_grad(x, w) after one Eval forward.
+
+/// Small smooth AE (Tanh, no pooling kinks) over [N,1,2,2] inputs.
+nn::Sequential tiny_autoencoder(Rng& rng) {
+  nn::Sequential ae;
+  ae.emplace<nn::Flatten>();
+  ae.emplace<nn::Linear>(4, 6, rng);
+  ae.emplace<nn::Tanh>();
+  ae.emplace<nn::Linear>(6, 4, rng);
+  ae.emplace<nn::Sigmoid>();
+  return ae;
+}
+
+nn::Sequential tiny_classifier(Rng& rng) {
+  nn::Sequential clf;
+  clf.emplace<nn::Flatten>();
+  clf.emplace<nn::Linear>(4, 5, rng);
+  clf.emplace<nn::Tanh>();
+  clf.emplace<nn::Linear>(5, 3, rng);
+  return clf;
+}
+
+void check_target_input_grad(attacks::AttackTarget& target, const Tensor& x,
+                             Rng& rng, const char* label) {
+  const Tensor y = target.logits(x, nn::Mode::Eval);
+  Tensor w = y;  // same shape
+  fill_uniform(w, rng, -1.0f, 1.0f);
+  const Tensor analytic = target.input_grad(x, w);
+  ASSERT_EQ(analytic.numel(), x.numel());
+
+  Tensor probe = x;
+  for (std::size_t j = 0; j < x.numel(); ++j) {
+    const float saved = probe[j];
+    const auto weighted = [&] {
+      const Tensor z = target.logits(probe, nn::Mode::Infer);
+      double L = 0.0;
+      for (std::size_t i = 0; i < z.numel(); ++i) {
+        L += static_cast<double>(w[i]) * static_cast<double>(z[i]);
+      }
+      return L;
+    };
+    probe[j] = saved + kStep;
+    const double lp = weighted();
+    probe[j] = saved - kStep;
+    const double lm = weighted();
+    probe[j] = saved;
+    const float numeric =
+        static_cast<float>((lp - lm) / (2.0 * static_cast<double>(kStep)));
+    ASSERT_LT(rel_err(analytic[j], numeric), kTol)
+        << label << " d/d(input)[" << j << "]: analytic " << analytic[j]
+        << " vs numeric " << numeric;
+  }
+}
+
+TEST(GradCheck, GrayBoxTargetComposedGradient) {
+  Rng rng(67);
+  nn::Sequential ae = tiny_autoencoder(rng);
+  nn::Sequential clf = tiny_classifier(rng);
+  attacks::GrayBoxTarget target(ae, clf);
+  Tensor x({2, 1, 2, 2});
+  fill_uniform(x, rng, 0.1f, 0.9f);
+  check_target_input_grad(target, x, rng, "GrayBoxTarget");
+}
+
+TEST(GradCheck, ObliviousTargetMatchesBareModelGradient) {
+  Rng rng(71);
+  nn::Sequential clf = tiny_classifier(rng);
+  attacks::ObliviousTarget target(clf);
+  Tensor x({2, 4});
+  fill_uniform(x, rng, 0.1f, 0.9f);
+  check_target_input_grad(target, x, rng, "ObliviousTarget");
+}
+
+// --- detector-evasion aux terms ----------------------------------------
+//
+// The detector-aware objective adds hinged detector overshoots; their
+// analytic input gradients (magnet/detector_grad) chain through the AE
+// (reconstruction error) or both classifier branches of the JSD. Probe
+// L(x) = sum_i w_i * loss(x)_i against the analytic input_grad(x, w),
+// picking the threshold at half the minimum clean score so every row's
+// hinge is active and no +-step probe can cross it.
+
+void check_aux_term_grad(attacks::AuxObjective& term, const Tensor& x,
+                         const std::vector<float>& w, const char* label) {
+  const Tensor analytic = term.input_grad(x, w);
+  ASSERT_EQ(analytic.numel(), x.numel());
+  Tensor probe = x;
+  for (std::size_t j = 0; j < x.numel(); ++j) {
+    const float saved = probe[j];
+    const auto weighted = [&] {
+      const std::vector<float> l = term.loss(probe);
+      double L = 0.0;
+      for (std::size_t i = 0; i < l.size(); ++i) {
+        L += static_cast<double>(w[i]) * static_cast<double>(l[i]);
+      }
+      return L;
+    };
+    probe[j] = saved + kStep;
+    const double lp = weighted();
+    probe[j] = saved - kStep;
+    const double lm = weighted();
+    probe[j] = saved;
+    const float numeric =
+        static_cast<float>((lp - lm) / (2.0 * static_cast<double>(kStep)));
+    ASSERT_LT(rel_err(analytic[j], numeric), kTol)
+        << label << " d/d(input)[" << j << "]: analytic " << analytic[j]
+        << " vs numeric " << numeric;
+  }
+}
+
+TEST(GradCheck, ReconErrorTermGradient) {
+  Rng rng(73);
+  auto ae = std::make_shared<nn::Sequential>(tiny_autoencoder(rng));
+  Tensor x({2, 1, 2, 2});
+  fill_uniform(x, rng, 0.1f, 0.9f);
+
+  // p = 2 keeps the score smooth (p = 1 has |.| kinks a probe could
+  // cross). Threshold below every row's score => hinge active everywhere.
+  magnet::ReconstructionDetector det(ae, 2);
+  const std::vector<float> scores = det.scores(x);
+  const float thr =
+      0.5f * *std::min_element(scores.begin(), scores.end());
+  ASSERT_GT(thr, 0.0f);
+  magnet::ReconErrorTerm term(ae, 2, thr, "recon-l2");
+  check_aux_term_grad(term, x, {0.7f, -1.3f}, "ReconErrorTerm");
+}
+
+TEST(GradCheck, JsdEvasionTermGradient) {
+  Rng rng(79);
+  auto ae = std::make_shared<nn::Sequential>(tiny_autoencoder(rng));
+  auto clf = std::make_shared<nn::Sequential>(tiny_classifier(rng));
+  Tensor x({2, 1, 2, 2});
+  fill_uniform(x, rng, 0.1f, 0.9f);
+
+  const float temperature = 10.0f;
+  magnet::JsdDetector det(ae, clf, temperature);
+  const std::vector<float> scores = det.scores(x);
+  const float thr =
+      0.5f * *std::min_element(scores.begin(), scores.end());
+  ASSERT_GT(thr, 0.0f);
+  magnet::JsdEvasionTerm term(ae, clf, temperature, thr, "jsd");
+  check_aux_term_grad(term, x, {1.0f, 0.5f}, "JsdEvasionTerm");
 }
 
 }  // namespace

@@ -12,6 +12,14 @@
 namespace adv::core {
 namespace {
 
+// Per-test root: ctest runs each test as its own process, and a shared
+// root would let one test's TearDown remove_all race another's writes.
+std::filesystem::path integration_root() {
+  return std::filesystem::temp_directory_path() /
+         (std::string("adv_integration_") +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name());
+}
+
 ScaleConfig micro_config(const std::string& subdir) {
   ScaleConfig cfg;
   cfg.full = false;
@@ -26,17 +34,13 @@ ScaleConfig micro_config(const std::string& subdir) {
   cfg.initial_c = 1.0f;
   cfg.mnist_kappas = {0.0f};
   cfg.cifar_kappas = {0.0f};
-  cfg.cache_dir =
-      std::filesystem::temp_directory_path() / "adv_integration" / subdir;
+  cfg.cache_dir = integration_root() / subdir;
   return cfg;
 }
 
 class IntegrationTest : public ::testing::Test {
  protected:
-  void TearDown() override {
-    std::filesystem::remove_all(std::filesystem::temp_directory_path() /
-                                "adv_integration");
-  }
+  void TearDown() override { std::filesystem::remove_all(integration_root()); }
 };
 
 TEST_F(IntegrationTest, MnistPipelineEndToEnd) {

@@ -12,7 +12,7 @@ namespace {
 
 class SumDetector final : public Detector {
  public:
-  std::vector<float> scores(const Tensor& batch) override {
+  std::vector<float> scores(const Tensor& batch) const override {
     const std::size_t n = batch.dim(0);
     const std::size_t row = batch.numel() / n;
     std::vector<float> out(n);

@@ -21,7 +21,7 @@ namespace {
 /// tested against hand-computable quantiles.
 class MeanDetector final : public Detector {
  public:
-  std::vector<float> scores(const Tensor& batch) override {
+  std::vector<float> scores(const Tensor& batch) const override {
     const std::size_t n = batch.dim(0);
     const std::size_t row = batch.numel() / n;
     std::vector<float> out(n);
@@ -255,6 +255,57 @@ TEST(Pipeline, ValidatesConstruction) {
   MagNetPipeline pipe(threshold_classifier());
   EXPECT_THROW(pipe.add_detector(nullptr), std::invalid_argument);
   EXPECT_THROW(Reformer(nullptr), std::invalid_argument);
+}
+
+TEST(Pipeline, ReadingsExposePerDetectorScoresAndThresholds) {
+  MagNetPipeline pipe(threshold_classifier());
+  auto lo = std::make_shared<MeanDetector>();
+  lo->set_threshold(10.0f);  // never fires
+  auto hi = std::make_shared<MeanDetector>();
+  hi->set_threshold(0.3f);  // fires on the second row only
+  pipe.add_detector(lo);
+  pipe.add_detector(hi);
+
+  const Tensor x = batch_of_values({0.2f, 0.5f});
+  const auto out = pipe.classify(x, DefenseScheme::DetectorOnly);
+
+  // One reading per detector, in bank order, with raw scores — WHICH
+  // detector fired, not just that one did.
+  ASSERT_EQ(out.readings.size(), 2u);
+  EXPECT_EQ(out.readings[0].name, "mean");
+  EXPECT_FLOAT_EQ(out.readings[0].threshold, 10.0f);
+  EXPECT_FLOAT_EQ(out.readings[1].threshold, 0.3f);
+  ASSERT_EQ(out.readings[0].scores.size(), 2u);
+  EXPECT_FLOAT_EQ(out.readings[0].scores[0], 0.2f);
+  EXPECT_FLOAT_EQ(out.readings[1].scores[1], 0.5f);
+  EXPECT_FALSE(out.readings[0].reject_row(0));
+  EXPECT_FALSE(out.readings[0].reject_row(1));
+  EXPECT_FALSE(out.readings[1].reject_row(0));
+  EXPECT_TRUE(out.readings[1].reject_row(1));
+
+  // `rejected` is exactly the OR of reject_row across readings.
+  EXPECT_FALSE(out.rejected[0]);
+  EXPECT_TRUE(out.rejected[1]);
+}
+
+TEST(Pipeline, ReadingsEmptyWhenSchemeRunsNoDetectors) {
+  MagNetPipeline pipe(threshold_classifier());
+  auto det = std::make_shared<MeanDetector>();
+  det->set_threshold(0.0f);  // would fire on everything
+  pipe.add_detector(det);
+  const Tensor x = batch_of_values({0.5f});
+  EXPECT_TRUE(pipe.classify(x, DefenseScheme::None).readings.empty());
+  EXPECT_TRUE(pipe.classify(x, DefenseScheme::ReformerOnly).readings.empty());
+  EXPECT_FALSE(
+      pipe.classify(x, DefenseScheme::DetectorOnly).readings.empty());
+}
+
+TEST(Pipeline, ClassifyIsCallableOnConstPipeline) {
+  MagNetPipeline pipe(threshold_classifier());
+  const MagNetPipeline& cref = pipe;
+  const auto out =
+      cref.classify(batch_of_values({0.2f}), DefenseScheme::None);
+  EXPECT_EQ(out.predicted.size(), 1u);
 }
 
 // --- auto-encoder builders ---------------------------------------------------

@@ -150,7 +150,11 @@ TEST(Sequential, AppendComposesModels) {
 class SequentialIo : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "adv_seq_test";
+    // Per-test dir: ctest runs each test in its own process, so a shared
+    // path would let one test's TearDown remove_all another's files.
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("adv_seq_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

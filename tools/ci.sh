@@ -137,4 +137,40 @@ else
   echo "MISSING: $shard_dir/BENCH_shard.json" >&2
   fail=1
 fi
+
+echo "== threat-model bench (REPRO_SCALE=smoke) =="
+# table1_threat_models crafts every registry attack under all three
+# threat models (sharing the shard_ci cache so models are already
+# trained) and writes BENCH_threatmodel.json. Gates: the dump covers all
+# three threat models, and threat/oblivious_identity is 1 — the new
+# AttackTarget path reproduced the legacy nn::Sequential& attack API
+# bitwise.
+threat_dir="$repo_root/$build_dir/threat_ci"
+threat_bench="$repo_root/$build_dir/bench/table1_threat_models"
+rm -rf "$threat_dir"
+mkdir -p "$threat_dir"
+(cd "$threat_dir" &&
+ REPRO_SCALE=smoke REPRO_CACHE_DIR="$shard_cache" ADV_THREADS=1 \
+   "$threat_bench" > threat.out)
+
+if [ -s "$threat_dir/BENCH_threatmodel.json" ]; then
+  for tm in oblivious gray-box detector-aware; do
+    if grep -q "/$tm/" "$threat_dir/BENCH_threatmodel.json"; then
+      echo "ok: BENCH_threatmodel.json covers threat model '$tm'"
+    else
+      echo "FAIL: BENCH_threatmodel.json missing threat model '$tm'" >&2
+      fail=1
+    fi
+  done
+  if grep -A1 '"key": "threat/oblivious_identity"' \
+       "$threat_dir/BENCH_threatmodel.json" | grep -q '"value": 1'; then
+    echo "ok: oblivious target bitwise-identical to legacy attack API"
+  else
+    echo "FAIL: threat/oblivious_identity != 1" >&2
+    fail=1
+  fi
+else
+  echo "MISSING: $threat_dir/BENCH_threatmodel.json" >&2
+  fail=1
+fi
 exit "$fail"
