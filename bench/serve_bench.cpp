@@ -1,0 +1,235 @@
+// serve_bench: closed-loop load study of the adv::serve daemon.
+//
+// Builds the default MNIST MagNet through the ModelZoo cache, starts a
+// ServeDaemon on a private unix socket, and drives it with closed-loop
+// clients at several in-flight depths (each client submits one-image
+// requests back to back — the paper's serving case). Per depth it reports
+// request latency (p50/p99), throughput, the mean rows per forward batch
+// the micro-batcher achieved, and the process CPU/wall ratio (the CI host
+// is single-core, so the ratio doubles as a sanity check that batching,
+// not parallelism, provides the speedup).
+//
+// Before any load runs, an identity gate replays a fixed request set
+// through the daemon (max_batch_rows = 8, concurrent submitters, so
+// coalescing actually happens) and compares every response against the
+// pipeline run serially one-request-at-a-time: the gate passes only on
+// BITWISE identical predictions, rejections, thresholds and detector
+// scores (see batcher.hpp for why this must hold). ci.sh asserts
+// serve/bench/identity == 1.
+//
+// Emits BENCH_serve.json (every metric under serve/, including the
+// daemon's own counters and timers).
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/emit.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace adv;
+
+namespace {
+
+double cpu_seconds() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  const auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + 1e-6 * t.tv_usec;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+double percentile_ms(std::vector<double>& latencies_ms, double pct) {
+  if (latencies_ms.empty()) return 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double rank = pct / 100.0 * static_cast<double>(latencies_ms.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = idx == 0 ? 0 : idx - 1;
+  if (idx >= latencies_ms.size()) idx = latencies_ms.size() - 1;
+  return latencies_ms[idx];
+}
+
+bool outcomes_identical(const magnet::DefenseOutcome& a,
+                        const magnet::DefenseOutcome& b) {
+  if (a.predicted != b.predicted || a.rejected != b.rejected ||
+      a.readings.size() != b.readings.size()) {
+    return false;
+  }
+  for (std::size_t d = 0; d < a.readings.size(); ++d) {
+    const auto& ra = a.readings[d];
+    const auto& rb = b.readings[d];
+    if (ra.name != rb.name || ra.scores.size() != rb.scores.size()) {
+      return false;
+    }
+    if (std::memcmp(&ra.threshold, &rb.threshold, sizeof(float)) != 0 ||
+        std::memcmp(ra.scores.data(), rb.scores.data(),
+                    ra.scores.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Replays `count` single-image requests through the daemon from 4
+/// concurrent submitters and compares each response bitwise against the
+/// precomputed serial baseline.
+bool identity_gate(const std::filesystem::path& socket,
+                   const Tensor& images,
+                   const std::vector<magnet::DefenseOutcome>& baseline) {
+  const std::size_t count = baseline.size();
+  std::vector<char> same(count, 0);
+  std::vector<std::thread> threads;
+  const std::size_t kThreads = 4;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::ServeClient client(socket);
+      for (std::size_t i = t; i < count; i += kThreads) {
+        const auto resp = client.classify(images.slice_rows(i, i + 1),
+                                          magnet::DefenseScheme::Full);
+        same[i] = resp.ok && outcomes_identical(resp.outcome, baseline[i]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  return std::all_of(same.begin(), same.end(), [](char c) { return c != 0; });
+}
+
+struct DepthStats {
+  double p50_ms = 0.0, p99_ms = 0.0;
+  double throughput_rps = 0.0;
+  double mean_batch_rows = 0.0;
+  double cpu_wall_ratio = 0.0;
+};
+
+DepthStats run_depth(const std::filesystem::path& socket,
+                     const Tensor& images, std::size_t depth,
+                     std::size_t requests_per_client) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t batches0 = reg.counter("serve/batches").value();
+  const std::uint64_t rows0 = reg.counter("serve/batch_rows").value();
+
+  std::vector<std::vector<double>> lat(depth);
+  const double cpu0 = cpu_seconds();
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(depth);
+  for (std::size_t c = 0; c < depth; ++c) {
+    clients.emplace_back([&, c] {
+      serve::ServeClient client(socket);
+      lat[c].reserve(requests_per_client);
+      const std::size_t n = images.dim(0);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        const std::size_t row = (c * requests_per_client + i) % n;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto resp = client.classify(images.slice_rows(row, row + 1),
+                                          magnet::DefenseScheme::Full);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!resp.ok) continue;  // fault-free run; counted via ok/err metrics
+        lat[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall0)
+                          .count();
+  const double cpu = cpu_seconds() - cpu0;
+
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+
+  DepthStats s;
+  s.p50_ms = percentile_ms(all, 50.0);
+  s.p99_ms = percentile_ms(all, 99.0);
+  s.throughput_rps = wall > 0.0 ? static_cast<double>(all.size()) / wall : 0.0;
+  const std::uint64_t batches = reg.counter("serve/batches").value() - batches0;
+  const std::uint64_t rows = reg.counter("serve/batch_rows").value() - rows0;
+  s.mean_batch_rows =
+      batches > 0 ? static_cast<double>(rows) / static_cast<double>(batches)
+                  : 0.0;
+  s.cpu_wall_ratio = wall > 0.0 ? cpu / wall : 0.0;
+
+  const std::string base = "serve/bench/depth" + std::to_string(depth) + "/";
+  reg.gauge(base + "p50_ms").set(s.p50_ms);
+  reg.gauge(base + "p99_ms").set(s.p99_ms);
+  reg.gauge(base + "throughput_rps").set(s.throughput_rps);
+  reg.gauge(base + "mean_batch_rows").set(s.mean_batch_rows);
+  reg.gauge(base + "cpu_wall_ratio").set(s.cpu_wall_ratio);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  if (!obs::enabled_pinned_by_env()) obs::set_enabled(true);
+  core::ModelZoo zoo(core::scale_from_env());
+  std::printf("== serve_bench: defended-inference serving study ==\n");
+  std::printf("scale: %s\n", bench::scale_banner(zoo.scale()));
+
+  // Pays for training once (through the zoo cache); detectors arrive
+  // calibrated.
+  auto pipe = core::build_magnet(zoo, core::DatasetId::Mnist,
+                                 core::MagnetVariant::Default);
+  const Tensor& images = zoo.attack_set(core::DatasetId::Mnist).images;
+
+  // Serial identity baseline — computed BEFORE the daemon exists because
+  // classify() may not run concurrently with the batcher thread.
+  const std::size_t kIdentityRequests = std::min<std::size_t>(
+      24, images.dim(0));
+  std::vector<magnet::DefenseOutcome> baseline;
+  baseline.reserve(kIdentityRequests);
+  for (std::size_t i = 0; i < kIdentityRequests; ++i) {
+    baseline.push_back(pipe->classify(images.slice_rows(i, i + 1),
+                                      magnet::DefenseScheme::Full));
+  }
+
+  serve::ServeConfig cfg;
+  cfg.socket_path = std::filesystem::temp_directory_path() /
+                    ("adv_serve_bench_" + std::to_string(::getpid()) +
+                     ".sock");
+  cfg.batch.max_batch_rows = 8;
+  cfg.batch.flush_deadline = std::chrono::microseconds(200);
+  serve::ServeDaemon daemon(
+      [pipe]() -> std::shared_ptr<const magnet::MagNetPipeline> {
+        return pipe;
+      },
+      cfg);
+  daemon.start();
+
+  auto& reg = obs::MetricsRegistry::global();
+  const bool identical = identity_gate(cfg.socket_path, images, baseline);
+  reg.gauge("serve/bench/identity").set(identical ? 1.0 : 0.0);
+  std::printf("batched-vs-serial bitwise identity (%zu requests): %s\n",
+              kIdentityRequests, identical ? "OK" : "FAILED");
+
+  const std::size_t per_client =
+      zoo.scale().smoke ? 30 : (zoo.scale().full ? 600 : 150);
+  const std::size_t depths[] = {1, 2, 4, 8};
+  std::printf("%6s %10s %10s %14s %12s %10s\n", "depth", "p50 ms", "p99 ms",
+              "throughput/s", "batch rows", "cpu/wall");
+  for (const std::size_t d : depths) {
+    const DepthStats s = run_depth(cfg.socket_path, images, d, per_client);
+    std::printf("%6zu %10.3f %10.3f %14.1f %12.2f %10.2f\n", d, s.p50_ms,
+                s.p99_ms, s.throughput_rps, s.mean_batch_rows,
+                s.cpu_wall_ratio);
+  }
+  daemon.stop();
+
+  if (obs::write_json("BENCH_serve.json", "serve/")) {
+    std::printf("wrote BENCH_serve.json\n");
+  }
+  return identical ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
 
 namespace adv::magnet {
 
@@ -14,6 +15,31 @@ const char* to_string(DefenseScheme s) {
     case DefenseScheme::Full: return "detector & reformer";
   }
   return "?";
+}
+
+DefenseOutcome DefenseOutcome::slice_rows(std::size_t begin,
+                                          std::size_t end) const {
+  if (begin > end || end > predicted.size()) {
+    throw std::out_of_range("DefenseOutcome::slice_rows: bad range [" +
+                            std::to_string(begin) + ", " +
+                            std::to_string(end) + ") of " +
+                            std::to_string(predicted.size()));
+  }
+  DefenseOutcome out;
+  out.rejected.assign(rejected.begin() + static_cast<std::ptrdiff_t>(begin),
+                      rejected.begin() + static_cast<std::ptrdiff_t>(end));
+  out.predicted.assign(predicted.begin() + static_cast<std::ptrdiff_t>(begin),
+                       predicted.begin() + static_cast<std::ptrdiff_t>(end));
+  out.readings.reserve(readings.size());
+  for (const DetectorReading& r : readings) {
+    DetectorReading s;
+    s.name = r.name;
+    s.threshold = r.threshold;
+    s.scores.assign(r.scores.begin() + static_cast<std::ptrdiff_t>(begin),
+                    r.scores.begin() + static_cast<std::ptrdiff_t>(end));
+    out.readings.push_back(std::move(s));
+  }
+  return out;
 }
 
 Reformer::Reformer(std::shared_ptr<nn::Sequential> autoencoder)
@@ -56,6 +82,8 @@ DefenseOutcome MagNetPipeline::classify(const Tensor& batch,
                             reformer_ != nullptr;
 
   if (use_detectors) {
+    // Per-stage serving latency (adv::obs; no-op unless enabled).
+    obs::ScopedTimer t("magnet/stage/detectors");
     out.readings.reserve(detectors_.size());
     for (const auto& d : detectors_) {
       DetectorReading reading;
@@ -69,9 +97,16 @@ DefenseOutcome MagNetPipeline::classify(const Tensor& batch,
     }
   }
 
-  const Tensor classified_input =
-      use_reformer ? reformer_->reform(batch) : batch;
-  out.predicted = nn::predict_labels(*classifier_, classified_input);
+  Tensor reformed;
+  if (use_reformer) {
+    obs::ScopedTimer t("magnet/stage/reformer");
+    reformed = reformer_->reform(batch);
+  }
+  {
+    obs::ScopedTimer t("magnet/stage/classifier");
+    out.predicted =
+        nn::predict_labels(*classifier_, use_reformer ? reformed : batch);
+  }
   return out;
 }
 

@@ -43,6 +43,13 @@ struct DefenseOutcome {
   /// detector fired, not just that one did. Empty when the scheme runs no
   /// detectors. `rejected` is exactly the OR of reject_row over readings.
   std::vector<DetectorReading> readings;
+
+  /// Rows [begin, end) of this outcome as a standalone outcome: rejected/
+  /// predicted sub-ranges plus every reading with its scores sliced (name
+  /// and threshold copied). The serve micro-batcher uses this to hand
+  /// each coalesced request its exact share of one dense classify()
+  /// result. Throws std::out_of_range on a bad range.
+  DefenseOutcome slice_rows(std::size_t begin, std::size_t end) const;
 };
 
 /// Reformer: projects inputs onto the learned data manifold via the

@@ -1,0 +1,273 @@
+#include "serve/batcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fault/failpoint.hpp"
+#include "obs/metrics.hpp"
+
+namespace adv::serve {
+namespace {
+
+// Instrumentation handles (stable for the process lifetime; see
+// obs/metrics.hpp — sites cache references in function-local statics).
+obs::Counter& requests_counter() {
+  static auto& c = obs::MetricsRegistry::global().counter("serve/requests");
+  return c;
+}
+obs::Counter& ok_counter() {
+  static auto& c =
+      obs::MetricsRegistry::global().counter("serve/responses_ok");
+  return c;
+}
+obs::Counter& error_counter() {
+  static auto& c =
+      obs::MetricsRegistry::global().counter("serve/responses_error");
+  return c;
+}
+obs::Counter& batches_counter() {
+  static auto& c = obs::MetricsRegistry::global().counter("serve/batches");
+  return c;
+}
+obs::Counter& batch_rows_counter() {
+  static auto& c = obs::MetricsRegistry::global().counter("serve/batch_rows");
+  return c;
+}
+obs::Counter& model_load_failures_counter() {
+  static auto& c =
+      obs::MetricsRegistry::global().counter("serve/model_load_failures");
+  return c;
+}
+obs::Counter& batch_failures_counter() {
+  static auto& c =
+      obs::MetricsRegistry::global().counter("serve/batch_failures");
+  return c;
+}
+
+bool same_row_shape(const Tensor& a, const Tensor& b) {
+  if (a.rank() != b.rank()) return false;
+  for (std::size_t i = 1; i < a.rank(); ++i) {
+    if (a.dim(i) != b.dim(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(PipelineFactory factory, BatchConfig cfg)
+    : factory_(std::move(factory)), cfg_(cfg) {
+  if (!factory_) throw std::invalid_argument("MicroBatcher: null factory");
+  if (cfg_.max_batch_rows == 0) {
+    throw std::invalid_argument("MicroBatcher: max_batch_rows must be >= 1");
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+MicroBatcher::~MicroBatcher() { stop(); }
+
+std::future<ServeResult> MicroBatcher::submit(Tensor rows,
+                                              magnet::DefenseScheme scheme) {
+  std::promise<ServeResult> promise;
+  std::future<ServeResult> future = promise.get_future();
+  if (rows.rank() != 4 || rows.dim(0) == 0) {
+    promise.set_value({false,
+                       "submit: batch must be rank-4 with >= 1 row, got " +
+                           rows.shape_string(),
+                       {}});
+    return future;
+  }
+  if (obs::enabled()) requests_counter().add(1);
+  Pending p;
+  p.row_count = rows.dim(0);
+  p.rows = std::move(rows);
+  p.scheme = scheme;
+  p.promise = std::move(promise);
+  p.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) {
+      p.promise.set_value({false, "batcher stopped", {}});
+      return future;
+    }
+    queue_.push_back(std::move(p));
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .gauge("serve/queue_depth")
+          .set(static_cast<double>(queue_.size()));
+    }
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void MicroBatcher::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_ && !thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t MicroBatcher::pending() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+bool MicroBatcher::pipeline_loaded() const {
+  std::lock_guard lk(mu_);
+  return pipeline_ != nullptr;
+}
+
+std::size_t MicroBatcher::queued_rows_locked() const {
+  std::size_t rows = 0;
+  for (const Pending& p : queue_) rows += p.row_count;
+  return rows;
+}
+
+std::vector<MicroBatcher::Pending> MicroBatcher::take_group_locked() {
+  std::vector<Pending> group;
+  std::deque<Pending> rest;
+  std::size_t rows = 0;
+  for (Pending& p : queue_) {
+    const bool fits = rows < cfg_.max_batch_rows;
+    const bool compatible =
+        group.empty() || (p.scheme == group.front().scheme &&
+                          same_row_shape(p.rows, group.front().rows));
+    if (fits && compatible) {
+      rows += p.row_count;
+      group.push_back(std::move(p));
+    } else {
+      rest.push_back(std::move(p));
+    }
+  }
+  queue_ = std::move(rest);
+  return group;
+}
+
+void MicroBatcher::run() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // drained: every submitted future has resolved
+      continue;
+    }
+    // Work exists. Hold the batch open until the deadline or until the
+    // queue carries a full batch of rows, whichever comes first.
+    const auto deadline =
+        std::chrono::steady_clock::now() + cfg_.flush_deadline;
+    while (!stop_ && queued_rows_locked() < cfg_.max_batch_rows) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    }
+    std::vector<Pending> group = take_group_locked();
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .gauge("serve/queue_depth")
+          .set(static_cast<double>(queue_.size()));
+    }
+    lk.unlock();
+    execute(group);
+    lk.lock();
+  }
+}
+
+std::shared_ptr<const magnet::MagNetPipeline> MicroBatcher::ensure_pipeline() {
+  // Double duty: lazy first load AND reload after a failed load. The
+  // factory is expected to route through the self-healing ModelZoo, so a
+  // corrupt cached model quarantines and rebuilds here instead of
+  // permanently wedging the daemon.
+  std::shared_ptr<const magnet::MagNetPipeline> pipe;
+  {
+    std::lock_guard lk(mu_);
+    pipe = pipeline_;
+  }
+  if (pipe) return pipe;
+  if (fault::check("serve.model_load") != fault::Action::None) {
+    if (obs::enabled()) model_load_failures_counter().add(1);
+    throw std::runtime_error("injected fault: serve.model_load");
+  }
+  try {
+    pipe = factory_();
+  } catch (...) {
+    if (obs::enabled()) model_load_failures_counter().add(1);
+    throw;
+  }
+  if (!pipe) {
+    if (obs::enabled()) model_load_failures_counter().add(1);
+    throw std::runtime_error("pipeline factory returned null");
+  }
+  std::lock_guard lk(mu_);
+  pipeline_ = pipe;
+  return pipe;
+}
+
+void MicroBatcher::execute(std::vector<Pending>& group) {
+  if (group.empty()) return;
+  const auto extracted = std::chrono::steady_clock::now();
+  std::size_t total_rows = 0;
+  for (const Pending& p : group) total_rows += p.row_count;
+  if (obs::enabled()) {
+    batches_counter().add(1);
+    batch_rows_counter().add(total_rows);
+    static auto& wait_timer =
+        obs::MetricsRegistry::global().timer("serve/queue_wait");
+    for (const Pending& p : group) {
+      wait_timer.record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(extracted -
+                                                               p.enqueued)
+              .count()));
+    }
+  }
+  try {
+    const auto pipe = ensure_pipeline();
+    if (fault::check("serve.batch_forward") != fault::Action::None) {
+      throw std::runtime_error("injected fault: serve.batch_forward");
+    }
+    // Coalesce into one dense NCHW batch (a lone request's tensor is
+    // forwarded as-is — no copy on the serial path).
+    Tensor input;
+    if (group.size() == 1) {
+      input = std::move(group.front().rows);
+    } else {
+      std::vector<std::size_t> dims = group.front().rows.shape().dims();
+      dims[0] = total_rows;
+      input = Tensor(Shape(dims));
+      std::size_t off = 0;
+      for (Pending& p : group) {
+        input.set_rows(off, p.rows);
+        off += p.row_count;
+        p.rows = Tensor();  // free the staged copy early
+      }
+    }
+    magnet::DefenseOutcome out;
+    {
+      obs::ScopedTimer t("serve/batch_forward");
+      out = pipe->classify(input, group.front().scheme);
+    }
+    if (group.size() == 1) {
+      group.front().promise.set_value({true, {}, std::move(out)});
+    } else {
+      std::size_t off = 0;
+      for (Pending& p : group) {
+        p.promise.set_value(
+            {true, {}, out.slice_rows(off, off + p.row_count)});
+        off += p.row_count;
+      }
+    }
+    if (obs::enabled()) ok_counter().add(group.size());
+  } catch (const std::exception& e) {
+    // Degraded mode: this batch's requests get error responses; the
+    // batcher thread survives to serve the next batch.
+    for (Pending& p : group) {
+      p.promise.set_value({false, e.what(), {}});
+    }
+    if (obs::enabled()) {
+      batch_failures_counter().add(1);
+      error_counter().add(group.size());
+    }
+  }
+}
+
+}  // namespace adv::serve

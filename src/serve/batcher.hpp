@@ -1,0 +1,135 @@
+// MicroBatcher — continuous micro-batching for defended inference.
+//
+// Concurrent callers submit() independent classify requests; one batcher
+// thread coalesces whatever is in flight into dense forward batches so
+// the blocked GEMM always sees multi-row work even when every client
+// sends single images. The coalescing window is bounded two ways:
+//
+//   * max_batch_rows — a batch closes as soon as the queue holds that
+//     many rows (a single oversized request still runs, alone);
+//   * flush_deadline — a batch closes this long after work first became
+//     available, so a lone request is never parked waiting for company.
+//
+// Only requests with the SAME defense scheme and per-row image shape are
+// coalesced (earlier compatible requests are never reordered behind later
+// ones; incompatible ones simply wait for the next batch). Because every
+// stage of MagNetPipeline::classify is row-independent — detector scores,
+// the reformer AE and the classifier forward all process rows separately,
+// and the blocked GEMM accumulates each output row in a K-order
+// independent of the batch row count (the same property the active-set
+// engine's dense sub-batches rely on, DESIGN.md §11) — a coalesced
+// response sliced back out is BITWISE IDENTICAL to running that request
+// alone. tests/serve_test.cpp and the serve_bench CI gate assert this.
+//
+// All model execution happens on the single batcher thread: classify()
+// is const but the underlying Sequentials mutate layer caches and the
+// per-model Workspace arena, so serializing passes is what makes the
+// shared pipeline safe under concurrent clients (and is also what lets
+// the arena's steady-state reuse work — one pass in flight at a time).
+//
+// Failure containment (tests label `serve`/`fault`):
+//   * the pipeline is acquired LAZILY through the factory on the first
+//     batch (and re-acquired after a failed load). A factory that throws
+//     — e.g. the `serve.model_load` failpoint, or a ModelZoo rebuild that
+//     fails — turns into error responses for that batch only; the next
+//     batch retries the load. The factory is expected to go through the
+//     self-healing ModelZoo layer so a corrupt cached model is
+//     quarantined and rebuilt rather than failing forever.
+//   * the `serve.batch_forward` failpoint (and any exception escaping
+//     classify) fails the requests of that batch with error results; the
+//     batcher thread and every queued request keep going.
+//
+// Observability (adv::obs, prefix serve/): requests, responses_ok,
+// responses_error, batches, batch_rows (mean occupancy = batch_rows /
+// batches), model_load_failures, batch_failures; gauge queue_depth;
+// timers queue_wait (submit -> batch extraction) and batch_forward
+// (classify wall time). Per-stage latency lives one level down under
+// magnet/stage/* (pipeline.cpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "magnet/pipeline.hpp"
+#include "tensor/tensor.hpp"
+
+namespace adv::serve {
+
+struct BatchConfig {
+  /// Rows at which a batch closes immediately. 1 degenerates to the
+  /// serial one-request-at-a-time path (the identity baseline).
+  std::size_t max_batch_rows = 8;
+  /// How long a batch may wait for more rows after work first arrives.
+  std::chrono::microseconds flush_deadline{200};
+};
+
+/// Per-request outcome: either a DefenseOutcome slice covering exactly
+/// the submitted rows, or an error string (the daemon's degraded mode).
+struct ServeResult {
+  bool ok = false;
+  std::string error;
+  magnet::DefenseOutcome outcome;
+};
+
+class MicroBatcher {
+ public:
+  /// Produces the pipeline on first use; called again after a failure.
+  using PipelineFactory =
+      std::function<std::shared_ptr<const magnet::MagNetPipeline>()>;
+
+  explicit MicroBatcher(PipelineFactory factory, BatchConfig cfg = {});
+  ~MicroBatcher();
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues `rows` (rank-4, leading dim = row count) for classification
+  /// under `scheme`. Thread-safe; returns immediately. After stop() the
+  /// future resolves to an error result.
+  std::future<ServeResult> submit(Tensor rows, magnet::DefenseScheme scheme);
+
+  /// Drains the queue (every pending future resolves), then joins the
+  /// batcher thread. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Requests queued but not yet taken into a batch (tests: a drained
+  /// soak run must end at 0).
+  std::size_t pending() const;
+  bool pipeline_loaded() const;
+  const BatchConfig& config() const { return cfg_; }
+
+ private:
+  struct Pending {
+    Tensor rows;
+    std::size_t row_count = 0;
+    magnet::DefenseScheme scheme = magnet::DefenseScheme::Full;
+    std::promise<ServeResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void run();
+  /// Pops the maximal in-order prefix-compatible group: every queued
+  /// request matching the front one's (scheme, row shape) until
+  /// max_batch_rows is reached; the rest keep their order.
+  std::vector<Pending> take_group_locked();
+  std::size_t queued_rows_locked() const;
+  void execute(std::vector<Pending>& group);
+  std::shared_ptr<const magnet::MagNetPipeline> ensure_pipeline();
+
+  PipelineFactory factory_;
+  BatchConfig cfg_;
+  std::shared_ptr<const magnet::MagNetPipeline> pipeline_;  // batcher thread only
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace adv::serve

@@ -1,0 +1,125 @@
+#include "serve/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace adv::serve {
+namespace {
+
+int connect_unix(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string s = path.string();
+  if (s.size() >= sizeof(addr.sun_path)) {
+    throw IoError("socket path too long: " + s);
+  }
+  std::memcpy(addr.sun_path, s.c_str(), s.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int e = errno;
+    ::close(fd);
+    throw IoError("connect " + s + ": " + std::strerror(e));
+  }
+  return fd;
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const std::filesystem::path& socket_path,
+                         std::size_t max_body_bytes)
+    : fd_(connect_unix(socket_path)), max_body_(max_body_bytes) {}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), max_body_(other.max_body_) {
+  other.fd_ = -1;
+}
+
+ClassifyResponse ServeClient::round_trip(
+    const std::vector<std::uint8_t>& request_body) {
+  write_frame(fd_, kRequestMagic, request_body);
+  std::vector<std::uint8_t> body;
+  if (!read_frame(fd_, kResponseMagic, max_body_, body)) {
+    throw IoError("daemon closed the connection");
+  }
+  return decode_response(body);
+}
+
+ClassifyResponse ServeClient::classify(const Tensor& rows,
+                                       magnet::DefenseScheme scheme) {
+  return round_trip(encode_classify_request(scheme, rows));
+}
+
+bool ServeClient::ping() {
+  const ClassifyResponse r = round_trip(encode_ping_request());
+  return r.ok && r.type == MessageType::Ping;
+}
+
+RawConnection::RawConnection(const std::filesystem::path& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+RawConnection::~RawConnection() { close(); }
+
+void RawConnection::send_bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t w = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+std::size_t RawConnection::recv_some(void* out, std::size_t len) {
+  for (;;) {
+    const ssize_t r = ::recv(fd_, out, len, 0);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    return 0;  // connection reset counts as closed for the tests
+  }
+}
+
+bool RawConnection::wait_for_close(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::uint8_t sink[512];
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int rc = ::poll(&pfd, 1, std::max(ms, 1));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return true;  // socket error: treat as closed
+    }
+    if (rc == 0) return false;  // timeout
+    if (recv_some(sink, sizeof(sink)) == 0) return true;
+  }
+}
+
+void RawConnection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace adv::serve

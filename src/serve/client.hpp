@@ -1,0 +1,75 @@
+// Client side of the adv::serve protocol.
+//
+// ServeClient is the blocking request/response library used by
+// bench/serve_bench and tests: one connection, classify()/ping() calls
+// that frame a request, wait, and decode the response. Transport and
+// framing failures throw (IoError/ProtocolError); an application-level
+// rejection (the daemon's degraded mode) comes back as a ClassifyResponse
+// with ok == false — callers choose whether that is fatal.
+//
+// RawConnection bypasses the protocol entirely — the robustness tests use
+// it to feed the daemon truncated frames, garbage magics and oversize
+// length prefixes, and to hang up mid-frame.
+#pragma once
+
+#include <chrono>
+#include <filesystem>
+
+#include "serve/protocol.hpp"
+
+namespace adv::serve {
+
+class ServeClient {
+ public:
+  /// Connects immediately; throws IoError on failure.
+  explicit ServeClient(const std::filesystem::path& socket_path,
+                       std::size_t max_body_bytes = kDefaultMaxBodyBytes);
+  ~ServeClient();
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&&) = delete;
+  ServeClient(const ServeClient&) = delete;
+
+  /// One classify round-trip. `rows` is a rank-4 NCHW batch (1 row is the
+  /// common serving case).
+  ClassifyResponse classify(const Tensor& rows, magnet::DefenseScheme scheme);
+
+  /// Liveness probe; returns true iff the daemon answered Ok.
+  bool ping();
+
+  int fd() const { return fd_; }
+
+ private:
+  ClassifyResponse round_trip(const std::vector<std::uint8_t>& request_body);
+
+  int fd_ = -1;
+  std::size_t max_body_;
+};
+
+/// A bare connected socket for protocol-robustness tests: write any bytes,
+/// read whatever comes back, hang up whenever.
+class RawConnection {
+ public:
+  explicit RawConnection(const std::filesystem::path& socket_path);
+  ~RawConnection();
+  RawConnection(const RawConnection&) = delete;
+  RawConnection& operator=(const RawConnection&) = delete;
+
+  /// Throws IoError if the daemon already dropped the connection.
+  void send_bytes(const void* data, std::size_t len);
+
+  /// Reads up to `len` bytes; returns the count, 0 on EOF (daemon hung
+  /// up). Never throws on EOF — that IS the signal under test.
+  std::size_t recv_some(void* out, std::size_t len);
+
+  /// Blocks until the daemon closes its end (returns true) or `timeout`
+  /// expires (false), discarding any response bytes in between.
+  bool wait_for_close(std::chrono::milliseconds timeout);
+
+  void close();
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace adv::serve

@@ -288,6 +288,120 @@ TEST(Pipeline, ReadingsExposePerDetectorScoresAndThresholds) {
   EXPECT_TRUE(out.rejected[1]);
 }
 
+TEST(Pipeline, ReadingsMatchHandComputedRealDetectorScores) {
+  // The full bank of REAL detectors on models simple enough to hand-compute:
+  // AE(x) = 0.5 x (1x1 conv, weight 0.5) and the fixed-logit classifier
+  // (-10x + 5, 10x - 5). One-pixel inputs x = {0.2, 0.8}.
+  auto ae = identity_ae();
+  ae->parameters()[0]->fill(0.5f);
+  auto clf = threshold_classifier();  // w = 10
+
+  MagNetPipeline pipe(clf);
+  auto l1 = std::make_shared<ReconstructionDetector>(ae, 1);
+  auto l2 = std::make_shared<ReconstructionDetector>(ae, 2);
+  auto jsd = std::make_shared<JsdDetector>(ae, clf, 1.0f);
+  // Thresholds chosen so l1/l2 reject exactly the second row and the JSD
+  // detector never fires (its scores are bounded by ln 2).
+  l1->set_threshold(0.2f);
+  l2->set_threshold(0.1f);
+  jsd->set_threshold(1.0f);
+  pipe.add_detector(l1);
+  pipe.add_detector(l2);
+  pipe.add_detector(jsd);
+
+  const auto out =
+      pipe.classify(batch_of_values({0.2f, 0.8f}), DefenseScheme::DetectorOnly);
+
+  ASSERT_EQ(out.readings.size(), 3u);
+  for (const auto& r : out.readings) ASSERT_EQ(r.scores.size(), 2u);
+
+  // recon_l1: mean |x - 0.5x| = 0.5|x|.
+  EXPECT_EQ(out.readings[0].name, "recon_l1");
+  EXPECT_FLOAT_EQ(out.readings[0].threshold, 0.2f);
+  EXPECT_NEAR(out.readings[0].scores[0], 0.1f, 1e-6f);
+  EXPECT_NEAR(out.readings[0].scores[1], 0.4f, 1e-6f);
+  EXPECT_FALSE(out.readings[0].reject_row(0));
+  EXPECT_TRUE(out.readings[0].reject_row(1));
+
+  // recon_l2: mean (x - 0.5x)^2 = 0.25 x^2.
+  EXPECT_EQ(out.readings[1].name, "recon_l2");
+  EXPECT_FLOAT_EQ(out.readings[1].threshold, 0.1f);
+  EXPECT_NEAR(out.readings[1].scores[0], 0.01f, 1e-6f);
+  EXPECT_NEAR(out.readings[1].scores[1], 0.16f, 1e-6f);
+  EXPECT_FALSE(out.readings[1].reject_row(0));
+  EXPECT_TRUE(out.readings[1].reject_row(1));
+
+  // jsd_T1: JSD between softmax(logits(x)) and softmax(logits(0.5x)).
+  // With two classes softmax reduces to a sigmoid of the logit gap:
+  // p1(x) = sigmoid(20x - 10), and on the reconstruction q1 = sigmoid(10x
+  // - 10). Recompute the divergence here from those closed forms.
+  EXPECT_EQ(out.readings[2].name, "jsd_T1");
+  EXPECT_FLOAT_EQ(out.readings[2].threshold, 1.0f);
+  const auto sigmoid = [](double z) { return 1.0 / (1.0 + std::exp(-z)); };
+  const auto jsd2 = [](double p1, double q1) {
+    const double p[] = {1.0 - p1, p1};
+    const double q[] = {1.0 - q1, q1};
+    double acc = 0.0;
+    for (int i = 0; i < 2; ++i) {
+      const double m = 0.5 * (p[i] + q[i]);
+      acc += 0.5 * p[i] * std::log(p[i] / m) +
+             0.5 * q[i] * std::log(q[i] / m);
+    }
+    return acc;
+  };
+  for (int i = 0; i < 2; ++i) {
+    const double x = i == 0 ? 0.2 : 0.8;
+    const double expected = jsd2(sigmoid(20 * x - 10), sigmoid(10 * x - 10));
+    EXPECT_NEAR(out.readings[2].scores[i], expected, 1e-5)
+        << "jsd score, row " << i;
+    EXPECT_FALSE(out.readings[2].reject_row(i));
+  }
+
+  // rejected = OR across the bank; predictions come from the raw input
+  // (DetectorOnly runs no reformer): 0.2 -> class 0, 0.8 -> class 1.
+  EXPECT_FALSE(out.rejected[0]);
+  EXPECT_TRUE(out.rejected[1]);
+  EXPECT_EQ(out.predicted[0], 0);
+  EXPECT_EQ(out.predicted[1], 1);
+}
+
+TEST(DefenseOutcome, SliceRowsExtractsAlignedSubranges) {
+  DefenseOutcome o;
+  o.rejected = {false, true, false, true};
+  o.predicted = {7, 1, 2, 5};
+  o.readings.push_back({"recon_l1", 0.5f, {0.1f, 0.9f, 0.2f, 0.8f}});
+  o.readings.push_back({"jsd_T10", 0.05f, {0.0f, 0.1f, 0.0f, 0.2f}});
+
+  const DefenseOutcome s = o.slice_rows(1, 3);
+  EXPECT_EQ(s.rejected, (std::vector<bool>{true, false}));
+  EXPECT_EQ(s.predicted, (std::vector<int>{1, 2}));
+  ASSERT_EQ(s.readings.size(), 2u);
+  EXPECT_EQ(s.readings[0].name, "recon_l1");
+  EXPECT_FLOAT_EQ(s.readings[0].threshold, 0.5f);
+  EXPECT_EQ(s.readings[0].scores, (std::vector<float>{0.9f, 0.2f}));
+  EXPECT_EQ(s.readings[1].name, "jsd_T10");
+  EXPECT_FLOAT_EQ(s.readings[1].threshold, 0.05f);
+  EXPECT_EQ(s.readings[1].scores, (std::vector<float>{0.1f, 0.0f}));
+
+  // Full-range slice reproduces the outcome; an empty range is legal.
+  const DefenseOutcome all = o.slice_rows(0, 4);
+  EXPECT_EQ(all.rejected, o.rejected);
+  EXPECT_EQ(all.predicted, o.predicted);
+  EXPECT_EQ(all.readings[1].scores, o.readings[1].scores);
+  const DefenseOutcome empty = o.slice_rows(2, 2);
+  EXPECT_TRUE(empty.predicted.empty());
+  ASSERT_EQ(empty.readings.size(), 2u);
+  EXPECT_TRUE(empty.readings[0].scores.empty());
+}
+
+TEST(DefenseOutcome, SliceRowsRejectsBadRanges) {
+  DefenseOutcome o;
+  o.rejected = {false, false};
+  o.predicted = {0, 1};
+  EXPECT_THROW(o.slice_rows(0, 3), std::out_of_range);
+  EXPECT_THROW(o.slice_rows(2, 1), std::out_of_range);
+}
+
 TEST(Pipeline, ReadingsEmptyWhenSchemeRunsNoDetectors) {
   MagNetPipeline pipe(threshold_classifier());
   auto det = std::make_shared<MeanDetector>();

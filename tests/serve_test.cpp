@@ -1,0 +1,631 @@
+// adv::serve battery: protocol encode/decode, micro-batching bitwise
+// identity vs the serial path, fault containment + soak, and socket-level
+// protocol robustness. Models are 1-pixel hand-computable stand-ins (the
+// same style as magnet_test.cpp) so every test runs in milliseconds; the
+// real-model end-to-end path is serve_bench's CI gate.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fault/failpoint.hpp"
+#include "magnet/detector.hpp"
+#include "magnet/pipeline.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/structural.hpp"
+#include "obs/metrics.hpp"
+#include "serve/batcher.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace adv::serve {
+namespace {
+
+using magnet::DefenseOutcome;
+using magnet::DefenseScheme;
+using magnet::MagNetPipeline;
+
+// --- tiny hand-computable pipeline (cf. magnet_test.cpp) ----------------
+
+std::shared_ptr<nn::Sequential> scaling_ae(float factor) {
+  Rng rng(1);
+  auto ae = std::make_shared<nn::Sequential>();
+  ae->emplace<nn::Conv2d>(nn::Conv2dConfig{1, 1, 1, 1, 0}, rng);
+  ae->parameters()[0]->fill(factor);
+  ae->parameters()[1]->fill(0.0f);
+  return ae;
+}
+
+std::shared_ptr<nn::Sequential> threshold_classifier(float w = 10.0f) {
+  Rng rng(2);
+  auto clf = std::make_shared<nn::Sequential>();
+  clf->emplace<nn::Flatten>();
+  auto& lin = clf->emplace<nn::Linear>(1, 2, rng);
+  *lin.parameters()[0] = Tensor::from_data(Shape({1, 2}), {-w, w});
+  *lin.parameters()[1] = Tensor::from_data(Shape({2}), {5.0f, -5.0f});
+  return clf;
+}
+
+/// Full pipeline: one real ReconstructionDetector (AE halves the pixel,
+/// so L1 score = 0.5|x|), a reformer on the same AE, and the threshold
+/// classifier. All stages are row-independent and hand-computable.
+std::shared_ptr<const MagNetPipeline> build_pipeline(
+    bool workspace_enabled = true) {
+  auto clf = threshold_classifier();
+  auto ae = scaling_ae(0.5f);
+  clf->set_workspace_enabled(workspace_enabled);
+  ae->set_workspace_enabled(workspace_enabled);
+  auto pipe = std::make_shared<MagNetPipeline>(clf);
+  auto det = std::make_shared<magnet::ReconstructionDetector>(ae, 1);
+  det->set_threshold(0.2f);  // fires when 0.5|x| > 0.2, i.e. x > 0.4
+  pipe->add_detector(det);
+  pipe->set_reformer(std::make_shared<magnet::Reformer>(ae));
+  return pipe;
+}
+
+Tensor rows_tensor(std::size_t n, float base) {
+  Tensor t({n, 1, 1, 1});
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = base + 0.01f * static_cast<float>(i);
+  }
+  return t;
+}
+
+bool outcomes_bitwise_equal(const DefenseOutcome& a, const DefenseOutcome& b) {
+  if (a.rejected != b.rejected || a.predicted != b.predicted) return false;
+  if (a.readings.size() != b.readings.size()) return false;
+  for (std::size_t d = 0; d < a.readings.size(); ++d) {
+    const auto& x = a.readings[d];
+    const auto& y = b.readings[d];
+    if (x.name != y.name) return false;
+    if (std::memcmp(&x.threshold, &y.threshold, sizeof(float)) != 0) {
+      return false;
+    }
+    if (x.scores.size() != y.scores.size()) return false;
+    if (std::memcmp(x.scores.data(), y.scores.data(),
+                    x.scores.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::filesystem::path test_socket_path() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::filesystem::temp_directory_path() /
+         ("adv_srv_" + std::to_string(::getpid()) + "_" + info->name() +
+          ".sock");
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::reset();
+    if (!obs::enabled_pinned_by_env()) obs::set_enabled(true);
+  }
+  void TearDown() override { fault::reset(); }
+
+  std::uint64_t counter_value(const std::string& key) {
+    return obs::MetricsRegistry::global().counter(key).value();
+  }
+};
+
+// --- protocol unit tests ------------------------------------------------
+
+TEST_F(ServeTest, ClassifyRequestRoundTrips) {
+  const Tensor batch = rows_tensor(3, 0.25f);
+  const auto body =
+      encode_classify_request(DefenseScheme::DetectorOnly, batch);
+  const Request req = decode_request(body);
+  EXPECT_EQ(req.type, MessageType::Classify);
+  EXPECT_EQ(req.scheme, DefenseScheme::DetectorOnly);
+  ASSERT_EQ(req.batch.shape(), batch.shape());
+  EXPECT_EQ(std::memcmp(req.batch.data(), batch.data(),
+                        batch.numel() * sizeof(float)),
+            0);
+}
+
+TEST_F(ServeTest, PingRequestRoundTrips) {
+  const Request req = decode_request(encode_ping_request());
+  EXPECT_EQ(req.type, MessageType::Ping);
+}
+
+TEST_F(ServeTest, ResponseRoundTripsReadingsBitwise) {
+  DefenseOutcome out;
+  out.rejected = {false, true};
+  out.predicted = {1, 0};
+  magnet::DetectorReading r;
+  r.name = "recon_l1";
+  r.threshold = 0.125f;
+  r.scores = {0.1f, 0.75f};
+  out.readings.push_back(r);
+  const auto body = encode_ok_response(MessageType::Classify, out);
+  const ClassifyResponse resp = decode_response(body);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_TRUE(outcomes_bitwise_equal(resp.outcome, out));
+
+  const ClassifyResponse err = decode_response(
+      encode_error_response(MessageType::Classify, "kaboom"));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.error, "kaboom");
+}
+
+TEST_F(ServeTest, DecodeRejectsMalformedBodies) {
+  // Unknown message type.
+  EXPECT_THROW(decode_request(std::vector<std::uint8_t>{9}), ProtocolError);
+  // Trailing bytes after a ping.
+  EXPECT_THROW(decode_request(std::vector<std::uint8_t>{2, 0}),
+               ProtocolError);
+  // Bad scheme.
+  auto body = encode_classify_request(DefenseScheme::Full, rows_tensor(1, 0));
+  body[1] = 77;
+  EXPECT_THROW(decode_request(body), ProtocolError);
+  // Payload shorter than dims promise.
+  body = encode_classify_request(DefenseScheme::Full, rows_tensor(2, 0));
+  body.pop_back();
+  EXPECT_THROW(decode_request(body), ProtocolError);
+  // Zero dimension.
+  body = encode_classify_request(DefenseScheme::Full, rows_tensor(1, 0));
+  std::uint32_t zero = 0;
+  std::memcpy(body.data() + 4, &zero, sizeof(zero));
+  EXPECT_THROW(decode_request(body), ProtocolError);
+  // Empty body.
+  EXPECT_THROW(decode_request(std::span<const std::uint8_t>{}),
+               ProtocolError);
+}
+
+// --- micro-batching bitwise identity ------------------------------------
+
+struct RequestSpec {
+  std::size_t rows;
+  float base;
+  DefenseScheme scheme;
+};
+
+std::vector<RequestSpec> identity_workload() {
+  std::vector<RequestSpec> specs;
+  for (std::size_t i = 0; i < 24; ++i) {
+    specs.push_back({1 + i % 3, 0.05f * static_cast<float>(i % 13),
+                     DefenseScheme::Full});
+  }
+  return specs;
+}
+
+/// Batched responses for N concurrent requests must be bitwise identical
+/// to running each request alone — across batch sizes, flush deadlines
+/// and with the Workspace arena on and off.
+TEST_F(ServeTest, BatchedResponsesMatchSerialBitwise) {
+  const auto specs = identity_workload();
+  for (const bool workspace_on : {true, false}) {
+    auto pipe = build_pipeline(workspace_on);
+    // Serial baseline: one classify per request, no coalescing anywhere.
+    std::vector<DefenseOutcome> serial;
+    for (const auto& s : specs) {
+      serial.push_back(
+          pipe->classify(rows_tensor(s.rows, s.base), s.scheme));
+    }
+    for (const std::size_t max_rows : {std::size_t{1}, std::size_t{4},
+                                       std::size_t{8}}) {
+      for (const auto deadline :
+           {std::chrono::microseconds{0}, std::chrono::microseconds{2000}}) {
+        MicroBatcher batcher([pipe] { return pipe; },
+                             {max_rows, deadline});
+        std::vector<std::future<ServeResult>> futures(specs.size());
+        // 4 concurrent submitters, interleaved striding so coalesced
+        // batches mix requests from different threads.
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < 4; ++t) {
+          threads.emplace_back([&, t] {
+            for (std::size_t i = t; i < specs.size(); i += 4) {
+              futures[i] = batcher.submit(
+                  rows_tensor(specs[i].rows, specs[i].base),
+                  specs[i].scheme);
+            }
+          });
+        }
+        for (auto& th : threads) th.join();
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          const ServeResult r = futures[i].get();
+          ASSERT_TRUE(r.ok) << r.error;
+          EXPECT_TRUE(outcomes_bitwise_equal(r.outcome, serial[i]))
+              << "request " << i << " max_rows=" << max_rows
+              << " deadline_us=" << deadline.count()
+              << " workspace=" << workspace_on;
+        }
+        EXPECT_EQ(batcher.pending(), 0u);
+      }
+    }
+  }
+}
+
+/// Requests under different schemes are never coalesced into one forward
+/// batch, but all of them are served and each matches its serial result.
+TEST_F(ServeTest, MixedSchemesServedCorrectly) {
+  auto pipe = build_pipeline();
+  const DefenseScheme schemes[] = {
+      DefenseScheme::None, DefenseScheme::DetectorOnly,
+      DefenseScheme::ReformerOnly, DefenseScheme::Full};
+  std::vector<DefenseOutcome> serial;
+  for (std::size_t i = 0; i < 16; ++i) {
+    serial.push_back(pipe->classify(rows_tensor(1, 0.04f * i),
+                                    schemes[i % 4]));
+  }
+  MicroBatcher batcher([pipe] { return pipe; },
+                       {8, std::chrono::microseconds{1000}});
+  std::vector<std::future<ServeResult>> futures;
+  for (std::size_t i = 0; i < 16; ++i) {
+    futures.push_back(
+        batcher.submit(rows_tensor(1, 0.04f * i), schemes[i % 4]));
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    const ServeResult r = futures[i].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(outcomes_bitwise_equal(r.outcome, serial[i])) << i;
+  }
+}
+
+TEST_F(ServeTest, CoalescingActuallyBatches) {
+  if (!obs::enabled()) GTEST_SKIP() << "obs pinned off";
+  auto pipe = build_pipeline();
+  const std::uint64_t batches_before = counter_value("serve/batches");
+  const std::uint64_t rows_before = counter_value("serve/batch_rows");
+  {
+    // Long deadline: 8 quick single-row submits close one full batch.
+    MicroBatcher batcher([pipe] { return pipe; },
+                         {8, std::chrono::microseconds{200000}});
+    std::vector<std::future<ServeResult>> futures;
+    for (std::size_t i = 0; i < 8; ++i) {
+      futures.push_back(
+          batcher.submit(rows_tensor(1, 0.1f * i), DefenseScheme::Full));
+    }
+    for (auto& f : futures) ASSERT_TRUE(f.get().ok);
+  }
+  const std::uint64_t batches = counter_value("serve/batches") - batches_before;
+  const std::uint64_t rows = counter_value("serve/batch_rows") - rows_before;
+  EXPECT_EQ(rows, 8u);
+  EXPECT_LE(batches, 2u);  // nearly always 1; 2 tolerates scheduler jitter
+}
+
+TEST_F(ServeTest, SubmitValidatesAndStops) {
+  auto pipe = build_pipeline();
+  MicroBatcher batcher([pipe] { return pipe; });
+  // Rank != 4 rejected without touching the queue.
+  ServeResult bad = batcher.submit(Tensor({2, 2}), DefenseScheme::Full).get();
+  EXPECT_FALSE(bad.ok);
+  batcher.stop();
+  ServeResult after = batcher.submit(rows_tensor(1, 0.1f),
+                                     DefenseScheme::Full)
+                          .get();
+  EXPECT_FALSE(after.ok);
+  EXPECT_NE(after.error.find("stopped"), std::string::npos);
+}
+
+// --- fault containment --------------------------------------------------
+
+TEST_F(ServeTest, ModelLoadFaultDegradesToErrorResponse) {
+  auto pipe = build_pipeline();
+  std::size_t factory_calls = 0;
+  MicroBatcher batcher(
+      [pipe, &factory_calls] {
+        ++factory_calls;
+        return pipe;
+      },
+      {4, std::chrono::microseconds{0}});
+  fault::arm("serve.model_load:fail_once");
+  const ServeResult r1 =
+      batcher.submit(rows_tensor(1, 0.3f), DefenseScheme::Full).get();
+  EXPECT_FALSE(r1.ok);
+  EXPECT_NE(r1.error.find("serve.model_load"), std::string::npos);
+  EXPECT_FALSE(batcher.pipeline_loaded());
+  // The daemon keeps serving: the next request reloads and succeeds.
+  const ServeResult r2 =
+      batcher.submit(rows_tensor(1, 0.3f), DefenseScheme::Full).get();
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_TRUE(batcher.pipeline_loaded());
+  EXPECT_EQ(factory_calls, 1u);
+  EXPECT_TRUE(outcomes_bitwise_equal(
+      r2.outcome, pipe->classify(rows_tensor(1, 0.3f), DefenseScheme::Full)));
+}
+
+TEST_F(ServeTest, MidBatchForwardFaultFailsOnlyThatBatch) {
+  auto pipe = build_pipeline();
+  MicroBatcher batcher([pipe] { return pipe; },
+                       {4, std::chrono::microseconds{0}});
+  fault::arm("serve.batch_forward:fail_once");
+  const ServeResult r1 =
+      batcher.submit(rows_tensor(2, 0.2f), DefenseScheme::Full).get();
+  EXPECT_FALSE(r1.ok);
+  EXPECT_NE(r1.error.find("serve.batch_forward"), std::string::npos);
+  const ServeResult r2 =
+      batcher.submit(rows_tensor(2, 0.2f), DefenseScheme::Full).get();
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_TRUE(outcomes_bitwise_equal(
+      r2.outcome, pipe->classify(rows_tensor(2, 0.2f), DefenseScheme::Full)));
+}
+
+TEST_F(ServeTest, DaemonSurvivesFaultsEndToEnd) {
+  auto pipe = build_pipeline();
+  ServeConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.batch = {4, std::chrono::microseconds{0}};
+  ServeDaemon daemon([pipe] { return pipe; }, cfg);
+  daemon.start();
+  // First request: model load fails. Second: forward fails mid-batch.
+  // Third: healthy. The daemon answers all three.
+  fault::arm("serve.model_load:fail_once,serve.batch_forward:fail_once");
+  ServeClient client(cfg.socket_path);
+  const Tensor x = rows_tensor(1, 0.35f);
+  const ClassifyResponse r1 = client.classify(x, DefenseScheme::Full);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_NE(r1.error.find("serve.model_load"), std::string::npos);
+  const ClassifyResponse r2 = client.classify(x, DefenseScheme::Full);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("serve.batch_forward"), std::string::npos);
+  const ClassifyResponse r3 = client.classify(x, DefenseScheme::Full);
+  ASSERT_TRUE(r3.ok) << r3.error;
+  EXPECT_TRUE(outcomes_bitwise_equal(
+      r3.outcome, pipe->classify(x, DefenseScheme::Full)));
+  daemon.stop();
+}
+
+/// Soak: hundreds of mixed-size requests from several threads drain with
+/// no stuck queue and monotone obs counters that add up exactly.
+TEST_F(ServeTest, SoakMixedSizesDrainsCleanly) {
+  auto pipe = build_pipeline();
+  const bool counters = obs::enabled();
+  const std::uint64_t req_before = counter_value("serve/requests");
+  const std::uint64_t ok_before = counter_value("serve/responses_ok");
+  const std::uint64_t err_before = counter_value("serve/responses_error");
+  const std::uint64_t rows_before = counter_value("serve/batch_rows");
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 75;
+  // Workload parameters are deterministic in (t, i); precompute every
+  // serial baseline BEFORE the batcher exists — classify() runs on the
+  // batcher thread during the soak, so workers must never call it.
+  std::vector<std::vector<DefenseOutcome>> expected(3);  // [rows-1][mod29]
+  for (std::size_t rows = 1; rows <= 3; ++rows) {
+    for (std::size_t mod = 0; mod < 29; ++mod) {
+      expected[rows - 1].push_back(pipe->classify(
+          rows_tensor(rows, 0.03f * static_cast<float>(mod)),
+          DefenseScheme::Full));
+    }
+  }
+  std::atomic<std::size_t> total_rows{0};
+  std::atomic<std::size_t> failures{0};
+  {
+    MicroBatcher batcher([pipe] { return pipe; },
+                         {8, std::chrono::microseconds{100}});
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          const std::size_t rows = 1 + (t + i) % 3;
+          const std::size_t mod = (t * 31 + i) % 29;
+          total_rows.fetch_add(rows);
+          const ServeResult r =
+              batcher
+                  .submit(rows_tensor(rows,
+                                      0.03f * static_cast<float>(mod)),
+                          DefenseScheme::Full)
+                  .get();
+          if (!r.ok ||
+              !outcomes_bitwise_equal(r.outcome,
+                                      expected[rows - 1][mod])) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(batcher.pending(), 0u);  // no stuck queue
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  if (counters) {
+    constexpr std::uint64_t kRequests = kThreads * kPerThread;
+    // Soak spot-checks call classify() directly on the main thread too,
+    // but those do not pass through serve/ counters — the serve deltas
+    // must match the submitted workload exactly, and stay monotone.
+    EXPECT_EQ(counter_value("serve/requests") - req_before, kRequests);
+    EXPECT_EQ(counter_value("serve/responses_ok") - ok_before, kRequests);
+    EXPECT_EQ(counter_value("serve/responses_error") - err_before, 0u);
+    EXPECT_EQ(counter_value("serve/batch_rows") - rows_before,
+              total_rows.load());
+    EXPECT_GE(counter_value("serve/batches"), 1u);
+  }
+}
+
+// --- protocol robustness over the socket --------------------------------
+
+struct DaemonFixture {
+  std::shared_ptr<const MagNetPipeline> pipe = build_pipeline();
+  ServeConfig cfg;
+  std::unique_ptr<ServeDaemon> daemon;
+
+  explicit DaemonFixture(std::size_t max_body = 1 << 20) {
+    cfg.socket_path = test_socket_path();
+    cfg.batch = {4, std::chrono::microseconds{100}};
+    cfg.max_body_bytes = max_body;
+    auto p = pipe;
+    daemon = std::make_unique<ServeDaemon>([p] { return p; }, cfg);
+    daemon->start();
+  }
+
+  /// The post-abuse liveness probe: a fresh well-behaved client must get
+  /// correct service, proving the batcher was not wedged.
+  void expect_alive() {
+    ServeClient client(cfg.socket_path);
+    EXPECT_TRUE(client.ping());
+    const Tensor x = rows_tensor(2, 0.3f);
+    const ClassifyResponse r = client.classify(x, DefenseScheme::Full);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(outcomes_bitwise_equal(
+        r.outcome, pipe->classify(x, DefenseScheme::Full)));
+  }
+};
+
+TEST_F(ServeTest, DaemonServesClassifyAndPing) {
+  DaemonFixture fx;
+  fx.expect_alive();
+  // Several sequential requests on one connection.
+  ServeClient client(fx.cfg.socket_path);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Tensor x = rows_tensor(1 + i % 2, 0.1f * static_cast<float>(i));
+    const ClassifyResponse r = client.classify(x, DefenseScheme::Full);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(outcomes_bitwise_equal(
+        r.outcome, fx.pipe->classify(x, DefenseScheme::Full)));
+  }
+}
+
+TEST_F(ServeTest, GarbageBytesDropConnectionCleanly) {
+  DaemonFixture fx;
+  {
+    RawConnection raw(fx.cfg.socket_path);
+    std::uint8_t junk[64];
+    for (std::size_t i = 0; i < sizeof(junk); ++i) {
+      junk[i] = static_cast<std::uint8_t>(37 * i + 11);
+    }
+    raw.send_bytes(junk, sizeof(junk));
+    EXPECT_TRUE(raw.wait_for_close(std::chrono::milliseconds{2000}));
+  }
+  fx.expect_alive();
+}
+
+TEST_F(ServeTest, OversizeLengthPrefixRejected) {
+  DaemonFixture fx(/*max_body=*/4096);
+  {
+    RawConnection raw(fx.cfg.socket_path);
+    // Valid magic/version, body_len far beyond the daemon's limit. The
+    // daemon must reject it WITHOUT allocating or reading that much.
+    const std::uint32_t header[3] = {kRequestMagic, kProtocolVersion,
+                                     0x40000000u};  // 1 GiB
+    raw.send_bytes(header, sizeof(header));
+    EXPECT_TRUE(raw.wait_for_close(std::chrono::milliseconds{2000}));
+  }
+  fx.expect_alive();
+}
+
+TEST_F(ServeTest, TruncatedFrameThenDisconnect) {
+  DaemonFixture fx;
+  {
+    // Header promises 256 body bytes; client sends 10 and hangs up.
+    RawConnection raw(fx.cfg.socket_path);
+    const std::uint32_t header[3] = {kRequestMagic, kProtocolVersion, 256};
+    raw.send_bytes(header, sizeof(header));
+    std::uint8_t partial[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    raw.send_bytes(partial, sizeof(partial));
+    raw.close();
+  }
+  fx.expect_alive();
+}
+
+TEST_F(ServeTest, UndecodableBodyGetsErrorAndKeepsConnection) {
+  DaemonFixture fx;
+  RawConnection raw(fx.cfg.socket_path);
+  // Well-framed body whose type byte is unknown.
+  const std::uint8_t bad_type = 9;
+  const std::uint32_t header[3] = {kRequestMagic, kProtocolVersion, 1};
+  raw.send_bytes(header, sizeof(header));
+  raw.send_bytes(&bad_type, 1);
+  // Expect a complete error-response frame back.
+  std::uint32_t resp_header[3];
+  std::size_t got = 0;
+  auto* p = reinterpret_cast<std::uint8_t*>(resp_header);
+  while (got < sizeof(resp_header)) {
+    const std::size_t r = raw.recv_some(p + got, sizeof(resp_header) - got);
+    ASSERT_GT(r, 0u) << "daemon closed instead of answering";
+    got += r;
+  }
+  EXPECT_EQ(resp_header[0], kResponseMagic);
+  std::vector<std::uint8_t> body(resp_header[2]);
+  got = 0;
+  while (got < body.size()) {
+    const std::size_t r = raw.recv_some(body.data() + got, body.size() - got);
+    ASSERT_GT(r, 0u);
+    got += r;
+  }
+  const ClassifyResponse resp = decode_response(body);
+  EXPECT_FALSE(resp.ok);
+  // Framing stayed intact: the SAME connection still serves a valid ping.
+  const auto ping = encode_ping_request();
+  const std::uint32_t ping_header[3] = {
+      kRequestMagic, kProtocolVersion, static_cast<std::uint32_t>(ping.size())};
+  raw.send_bytes(ping_header, sizeof(ping_header));
+  raw.send_bytes(ping.data(), ping.size());
+  got = 0;
+  while (got < sizeof(resp_header)) {
+    const std::size_t r = raw.recv_some(p + got, sizeof(resp_header) - got);
+    ASSERT_GT(r, 0u);
+    got += r;
+  }
+  EXPECT_EQ(resp_header[0], kResponseMagic);
+  fx.expect_alive();
+}
+
+TEST_F(ServeTest, AbuseBarrageNeverWedgesBatcher) {
+  DaemonFixture fx(/*max_body=*/4096);
+  // A volley of every abuse at once, interleaved with real traffic.
+  for (std::size_t round = 0; round < 3; ++round) {
+    {
+      RawConnection raw(fx.cfg.socket_path);
+      const std::uint32_t bad[3] = {0xDEADBEEF, 1, 4};
+      raw.send_bytes(bad, sizeof(bad));
+    }
+    {
+      RawConnection raw(fx.cfg.socket_path);
+      const std::uint32_t header[3] = {kRequestMagic, kProtocolVersion,
+                                       0xFFFFFFFFu};
+      raw.send_bytes(header, sizeof(header));
+    }
+    {
+      RawConnection raw(fx.cfg.socket_path);
+      const std::uint32_t header[3] = {kRequestMagic, kProtocolVersion, 128};
+      raw.send_bytes(header, sizeof(header));
+      // disconnect mid-request
+    }
+    fx.expect_alive();
+  }
+  // Concurrent well-formed clients still get exact service. Verification
+  // is deferred past the joins — classify() may only run on the batcher
+  // thread while traffic is in flight.
+  std::vector<std::thread> threads;
+  std::vector<std::vector<ClassifyResponse>> responses(4);
+  std::atomic<std::size_t> transport_failures{0};
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      ServeClient client(fx.cfg.socket_path);
+      for (std::size_t i = 0; i < 10; ++i) {
+        const Tensor x = rows_tensor(1, 0.07f * static_cast<float>(t + i));
+        try {
+          responses[t].push_back(client.classify(x, DefenseScheme::Full));
+        } catch (const std::exception&) {
+          transport_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(transport_failures.load(), 0u);
+  for (std::size_t t = 0; t < 4; ++t) {
+    ASSERT_EQ(responses[t].size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+      const Tensor x = rows_tensor(1, 0.07f * static_cast<float>(t + i));
+      ASSERT_TRUE(responses[t][i].ok) << responses[t][i].error;
+      EXPECT_TRUE(outcomes_bitwise_equal(
+          responses[t][i].outcome,
+          fx.pipe->classify(x, DefenseScheme::Full)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adv::serve

@@ -173,4 +173,58 @@ else
   echo "MISSING: $threat_dir/BENCH_threatmodel.json" >&2
   fail=1
 fi
+
+echo "== serve tests (label: serve) =="
+# The serving battery (micro-batching identity, fault containment,
+# protocol robustness, soak) already ran in the full ctest pass; re-run
+# it by label so a serving regression is called out on its own.
+ctest --test-dir "$build_dir" -L serve --output-on-failure -j"$jobs"
+
+echo "== serving bench (REPRO_SCALE=smoke) =="
+# serve_bench builds the default MNIST MagNet (sharing the shard_ci
+# cache, so models are already trained), starts the daemon, replays a
+# fixed request set through concurrent clients and compares every
+# response bitwise against the serial one-request-at-a-time pipeline
+# (gauge serve/bench/identity), then load-tests in-flight depths
+# 1/2/4/8. Gates: the identity gauge is 1 and BENCH_serve.json carries
+# p50/p99/throughput for every depth.
+serve_dir="$repo_root/$build_dir/serve_ci"
+serve_bench="$repo_root/$build_dir/bench/serve_bench"
+rm -rf "$serve_dir"
+mkdir -p "$serve_dir"
+if (cd "$serve_dir" &&
+    REPRO_SCALE=smoke REPRO_CACHE_DIR="$shard_cache" ADV_THREADS=1 \
+      "$serve_bench" > serve.out); then
+  echo "ok: serve_bench completed (identity gate passed in-process)"
+else
+  echo "FAIL: serve_bench exited nonzero (batched-vs-serial divergence?)" >&2
+  fail=1
+fi
+
+if [ -s "$serve_dir/BENCH_serve.json" ]; then
+  if grep -q '"key": "serve/bench/identity", "kind": "gauge", "value": 1}' \
+       "$serve_dir/BENCH_serve.json"; then
+    echo "ok: batched responses bitwise-identical to serial pipeline"
+  else
+    echo "FAIL: serve/bench/identity != 1" >&2
+    fail=1
+  fi
+  serve_shape_ok=1
+  for d in 1 2 4 8; do
+    for m in p50_ms p99_ms throughput_rps mean_batch_rows; do
+      if ! grep -q "\"key\": \"serve/bench/depth$d/$m\"" \
+             "$serve_dir/BENCH_serve.json"; then
+        echo "FAIL: BENCH_serve.json missing serve/bench/depth$d/$m" >&2
+        serve_shape_ok=0
+        fail=1
+      fi
+    done
+  done
+  if [ "$serve_shape_ok" = 1 ]; then
+    echo "ok: BENCH_serve.json covers depths 1/2/4/8 (p50/p99/throughput/occupancy)"
+  fi
+else
+  echo "MISSING: $serve_dir/BENCH_serve.json" >&2
+  fail=1
+fi
 exit "$fail"
