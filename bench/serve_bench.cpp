@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fault/failpoint.hpp"
 #include "obs/emit.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
@@ -171,6 +172,94 @@ DepthStats run_depth(const std::filesystem::path& socket,
   return s;
 }
 
+/// Overload scenario (DESIGN.md §15): a deliberately tiny daemon (2-row
+/// batches, 8-row admission queue, watchdog armed) under a
+/// `serve.batch_forward:delay` failpoint and 16 closed-loop clients —
+/// half carrying a deadline, a quarter retrying sheds with deterministic
+/// backoff. Emits serve/bench/overload/* gauges; ci.sh asserts shed and
+/// deadline_expired are NONZERO and that the batcher's accounting
+/// invariant (requests == ok + errors + shed + deadline_expired) held.
+/// Returns false if the accounting check fails.
+bool run_overload(const std::filesystem::path& socket, const Tensor& images,
+                  std::size_t requests_per_client) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t req0 = reg.counter("serve/requests").value();
+  const std::uint64_t ok0 = reg.counter("serve/responses_ok").value();
+  const std::uint64_t err0 = reg.counter("serve/responses_error").value();
+  const std::uint64_t shed0 = reg.counter("serve/shed").value();
+  const std::uint64_t ddl0 = reg.counter("serve/deadline_expired").value();
+  const std::uint64_t retry0 = reg.counter("serve/client_retries").value();
+
+  const std::size_t kClients = 16;
+  std::vector<std::vector<double>> lat(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::ClientConfig ccfg;
+      ccfg.recv_timeout = std::chrono::milliseconds(10000);
+      if (c % 4 == 0) {
+        // Retrying clients: a shed is an invitation to back off and try
+        // again, on a schedule seeded per client.
+        ccfg.retry.max_attempts = 3;
+        ccfg.retry.base_backoff = std::chrono::milliseconds(5);
+        ccfg.retry.max_backoff = std::chrono::milliseconds(50);
+        ccfg.retry.jitter_seed = c;
+      }
+      // Half the clients spend a deadline budget; the rest wait it out.
+      const std::uint32_t deadline_ms = (c % 2 == 0) ? 40 : 0;
+      serve::ServeClient client(socket, ccfg);
+      const std::size_t n = images.dim(0);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        const std::size_t row = (c * requests_per_client + i) % n;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto resp = client.classify(images.slice_rows(row, row + 1),
+                                          magnet::DefenseScheme::Full,
+                                          deadline_ms);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!resp.ok) continue;  // sheds/expiries show up in the counters
+        lat[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+
+  const double requests =
+      static_cast<double>(reg.counter("serve/requests").value() - req0);
+  const double ok =
+      static_cast<double>(reg.counter("serve/responses_ok").value() - ok0);
+  const double errors =
+      static_cast<double>(reg.counter("serve/responses_error").value() - err0);
+  const double shed =
+      static_cast<double>(reg.counter("serve/shed").value() - shed0);
+  const double expired =
+      static_cast<double>(reg.counter("serve/deadline_expired").value() - ddl0);
+  const double retries =
+      static_cast<double>(reg.counter("serve/client_retries").value() - retry0);
+  const bool accounted = requests == ok + errors + shed + expired;
+
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  const double p99 = percentile_ms(all, 99.0);
+
+  reg.gauge("serve/bench/overload/requests").set(requests);
+  reg.gauge("serve/bench/overload/ok").set(ok);
+  reg.gauge("serve/bench/overload/errors").set(errors);
+  reg.gauge("serve/bench/overload/shed").set(shed);
+  reg.gauge("serve/bench/overload/deadline_expired").set(expired);
+  reg.gauge("serve/bench/overload/client_retries").set(retries);
+  reg.gauge("serve/bench/overload/p99_ms").set(p99);
+  reg.gauge("serve/bench/overload/accounted").set(accounted ? 1.0 : 0.0);
+
+  std::printf(
+      "overload: %.0f requests -> %.0f ok, %.0f shed, %.0f expired, %.0f "
+      "errors (%.0f client retries), served p99 %.1f ms, accounting %s\n",
+      requests, ok, shed, expired, errors, retries, p99,
+      accounted ? "OK" : "BROKEN");
+  return accounted;
+}
+
 }  // namespace
 
 int main() {
@@ -228,8 +317,32 @@ int main() {
   }
   daemon.stop();
 
+  // Overload study on a fresh, deliberately tiny daemon: 2-row batches
+  // behind an 8-row admission queue, watchdog armed, and every forward
+  // pass slowed by a latency failpoint so saturation is guaranteed.
+  serve::ServeConfig ocfg;
+  ocfg.socket_path = std::filesystem::temp_directory_path() /
+                     ("adv_serve_bench_ovl_" + std::to_string(::getpid()) +
+                      ".sock");
+  ocfg.batch.max_batch_rows = 2;
+  ocfg.batch.flush_deadline = std::chrono::microseconds(200);
+  ocfg.batch.max_queue_rows = 8;
+  ocfg.batch.watchdog_timeout = std::chrono::milliseconds(5000);
+  serve::ServeDaemon overload_daemon(
+      [pipe]() -> std::shared_ptr<const magnet::MagNetPipeline> {
+        return pipe;
+      },
+      ocfg);
+  overload_daemon.start();
+  fault::arm("serve.batch_forward:delay=25");
+  const std::size_t overload_per_client = zoo.scale().smoke ? 8 : 20;
+  const bool accounted =
+      run_overload(ocfg.socket_path, images, overload_per_client);
+  fault::reset();
+  overload_daemon.stop();
+
   if (obs::write_json("BENCH_serve.json", "serve/")) {
     std::printf("wrote BENCH_serve.json\n");
   }
-  return identical ? 0 : 1;
+  return identical && accounted ? 0 : 1;
 }

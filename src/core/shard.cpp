@@ -608,6 +608,24 @@ void write_shard_bench(const DriverOptions& opts, const ShardReport& rep) {
 
 }  // namespace
 
+std::uint64_t retry_backoff_ms(std::size_t shard_index, std::size_t attempt,
+                               std::uint64_t base_ms, std::uint64_t cap_ms) {
+  if (base_ms == 0 || cap_ms == 0) return 0;
+  const std::size_t exp = std::min<std::size_t>(attempt, 40);
+  std::uint64_t cap = base_ms << exp;
+  if (cap > cap_ms || (cap >> exp) != base_ms) cap = cap_ms;
+  // splitmix64 over (index, attempt): deterministic, but crashed
+  // siblings get distinct pauses instead of relaunching in lockstep.
+  std::uint64_t x = (static_cast<std::uint64_t>(shard_index) << 32) ^
+                    static_cast<std::uint64_t>(attempt);
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const std::uint64_t half = cap / 2;
+  return half + x % (cap - half + 1);
+}
+
 double ShardReport::speedup() const {
   if (phase_wall_ns == 0) return 0.0;
   return static_cast<double>(total_cpu_ns) /
@@ -687,27 +705,42 @@ ShardReport run_shard_driver(const DriverOptions& opts) {
   const std::uint64_t phase_start = now_ns();
   for (std::size_t k = 0; k < count; ++k) launch(k);
   reap_all();
-  for (std::size_t k = 0; k < count; ++k) {
-    if (rep.shards[k].ok()) continue;
-    std::fprintf(stderr,
-                 "[shard] %s worker %zu failed (status %d); retrying once "
-                 "(log: %s)\n",
-                 opts.bench_name.c_str(), k, rep.shards[k].exit_status,
-                 rep.shards[k].log.string().c_str());
-    ++rep.retried;
-    launch(k);
+  // Capped-backoff relaunch rounds: an immediate identical relaunch just
+  // reproduces a transient cause (OOM spike, a sibling rebuilding the
+  // shared cache); the deterministic schedule gives it room to clear.
+  std::uint64_t backoff_total_ms = 0;
+  for (std::size_t round = 0; round < opts.max_retries; ++round) {
+    bool relaunched = false;
+    for (std::size_t k = 0; k < count; ++k) {
+      if (rep.shards[k].ok()) continue;
+      const std::uint64_t pause = retry_backoff_ms(
+          k, round, opts.retry_base_ms, opts.retry_cap_ms);
+      std::fprintf(stderr,
+                   "[shard] %s worker %zu failed (status %d); retry %zu/%zu "
+                   "after %llu ms (log: %s)\n",
+                   opts.bench_name.c_str(), k, rep.shards[k].exit_status,
+                   round + 1, opts.max_retries,
+                   static_cast<unsigned long long>(pause),
+                   rep.shards[k].log.string().c_str());
+      ++rep.retried;
+      backoff_total_ms += pause;
+      std::this_thread::sleep_for(std::chrono::milliseconds(pause));
+      launch(k);
+      relaunched = true;
+    }
+    if (!relaunched) break;
+    reap_all();
   }
-  reap_all();
   rep.phase_wall_ns = now_ns() - phase_start;
   for (const ShardOutcome& o : rep.shards) {
     rep.total_cpu_ns += o.cpu_ns;
     if (!o.ok()) {
       ++rep.failed;
       std::fprintf(stderr,
-                   "[shard] %s worker %zu failed twice (status %d); merging "
-                   "the surviving shards (log: %s)\n",
-                   opts.bench_name.c_str(), o.index, o.exit_status,
-                   o.log.string().c_str());
+                   "[shard] %s worker %zu failed after %zu attempt(s) "
+                   "(status %d); merging the surviving shards (log: %s)\n",
+                   opts.bench_name.c_str(), o.index, o.attempts,
+                   o.exit_status, o.log.string().c_str());
     }
   }
 
@@ -717,6 +750,7 @@ ShardReport run_shard_driver(const DriverOptions& opts) {
   reg.counter("shard/launched").add(rep.launched);
   reg.counter("shard/retried").add(rep.retried);
   reg.counter("shard/failed").add(rep.failed);
+  reg.counter("shard/retry_backoff_ms").add(backoff_total_ms);
 
   // Handoff order matters: publish merged artifacts into the canonical
   // cache keys FIRST so the replay below is a pure cache-hit pass, then

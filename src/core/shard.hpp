@@ -180,13 +180,29 @@ struct DriverOptions {
   /// Regenerates canonical derived outputs (printed tables, CSVs) after
   /// the artifact merge — run with all attacks cache-hot. May be empty.
   std::function<void()> replay;
+  /// Relaunch budget per crashed worker (total attempts = 1 +
+  /// max_retries). Before each relaunch the driver sleeps
+  /// retry_backoff_ms(index, attempt, retry_base_ms, retry_cap_ms) — a
+  /// transient cause (OOM spike, cache contention from a sibling's
+  /// rebuild) gets breathing room instead of an instant identical crash.
+  std::size_t max_retries = 1;
+  std::uint64_t retry_base_ms = 25;
+  std::uint64_t retry_cap_ms = 2000;
 };
 
+/// Pure backoff schedule for worker relaunches: doubles from base_ms per
+/// attempt (0-based), capped at cap_ms, plus a deterministic jitter
+/// derived from (shard_index, attempt) so simultaneously-crashed shards
+/// don't relaunch in lockstep. Same inputs -> same output, always
+/// (shard_test asserts the exact schedule).
+std::uint64_t retry_backoff_ms(std::size_t shard_index, std::size_t attempt,
+                               std::uint64_t base_ms, std::uint64_t cap_ms);
+
 /// Runs the fan-out: spawn K workers, reap with per-child rusage, retry
-/// failures once, merge artifacts, replay, merge metric dumps, and write
-/// BENCH_shard.json. Workers inherit the environment with ADV_THREADS
-/// defaulted to max(1, cores/K) unless already set (an explicit pin —
-/// e.g. CI's ADV_THREADS=1 — always wins).
+/// failures on a capped backoff schedule, merge artifacts, replay, merge
+/// metric dumps, and write BENCH_shard.json. Workers inherit the
+/// environment with ADV_THREADS defaulted to max(1, cores/K) unless
+/// already set (an explicit pin — e.g. CI's ADV_THREADS=1 — always wins).
 ShardReport run_shard_driver(const DriverOptions& opts);
 
 /// Runs `argv` as a child process sharing this process's stdio; returns

@@ -1,20 +1,24 @@
 #include "fault/failpoint.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace adv::fault {
 namespace {
 
 struct ArmedPoint {
   Action action = Action::None;
-  std::uint64_t after = 0;  // hits [0, after) pass untouched
-  bool once = false;        // trigger only on hit index == after
-  std::uint64_t hits = 0;   // guarded by State::mutex
+  std::uint64_t after = 0;    // hits [0, after) pass untouched
+  bool once = false;          // trigger only on hit index == after
+  std::uint64_t delay_ms = 0; // Action::Delay only
+  std::uint64_t hits = 0;     // guarded by State::mutex
 };
 
 void arm_into(struct State& s, const std::string& specs);
@@ -23,6 +27,8 @@ struct State {
   std::atomic<std::uint64_t> armed_count{0};
   std::mutex mutex;
   std::map<std::string, ArmedPoint, std::less<>> points;
+  /// Wakes threads parked in a Stall; signalled by arm() and reset().
+  std::condition_variable stall_cv;
 
   State() {
     if (const char* env = std::getenv("ADV_FAULT")) {
@@ -77,6 +83,8 @@ void parse_spec(std::string_view spec, std::string& site, ArmedPoint& point) {
       {"short_write", Action::ShortWrite},
       {"bitflip", Action::BitFlip},
       {"nan", Action::Nan},
+      {"delay", Action::Delay},
+      {"stall", Action::Stall},
   };
   point = ArmedPoint{};
   for (const auto& a : kActions) {
@@ -87,7 +95,19 @@ void parse_spec(std::string_view spec, std::string& site, ArmedPoint& point) {
     }
   }
   if (point.action == Action::None) {
-    bad_spec(spec, "unknown action (want fail|short_write|bitflip|nan)");
+    bad_spec(spec,
+             "unknown action (want fail|short_write|bitflip|nan|delay=N|"
+             "stall)");
+  }
+  if (point.action == Action::Delay) {
+    if (rest.substr(0, 1) != "=") bad_spec(spec, "'delay' needs '=<ms>'");
+    rest.remove_prefix(1);
+    std::size_t len = 0;
+    while (len < rest.size() && rest[len] >= '0' && rest[len] <= '9') ++len;
+    if (!parse_u64(rest.substr(0, len), point.delay_ms)) {
+      bad_spec(spec, "'delay=' needs a number of milliseconds");
+    }
+    rest.remove_prefix(len);
   }
   while (!rest.empty()) {
     if (rest.substr(0, 5) == "_once") {
@@ -133,6 +153,8 @@ const char* to_string(Action a) {
     case Action::ShortWrite: return "short_write";
     case Action::BitFlip: return "bitflip";
     case Action::Nan: return "nan";
+    case Action::Delay: return "delay";
+    case Action::Stall: return "stall";
   }
   return "?";
 }
@@ -145,24 +167,53 @@ namespace detail {
 
 Action check_slow(std::string_view site) {
   State& s = state();
-  std::lock_guard lock(s.mutex);
-  auto it = s.points.find(site);
-  if (it == s.points.end()) return Action::None;
-  ArmedPoint& p = it->second;
-  const std::uint64_t h = p.hits++;
-  const bool triggered = p.once ? h == p.after : h >= p.after;
-  return triggered ? p.action : Action::None;
+  Action action = Action::None;
+  std::uint64_t delay_ms = 0;
+  {
+    std::lock_guard lock(s.mutex);
+    auto it = s.points.find(site);
+    if (it == s.points.end()) return Action::None;
+    ArmedPoint& p = it->second;
+    const std::uint64_t h = p.hits++;
+    const bool triggered = p.once ? h == p.after : h >= p.after;
+    if (!triggered) return Action::None;
+    action = p.action;
+    delay_ms = p.delay_ms;
+  }
+  // Latency actions run here, off the registry lock, and report None so
+  // the site proceeds normally once the time has passed (see header).
+  if (action == Action::Delay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return Action::None;
+  }
+  if (action == Action::Stall) {
+    const std::string key(site);
+    std::unique_lock lock(s.mutex);
+    s.stall_cv.wait(lock, [&] {
+      auto it = s.points.find(key);
+      return it == s.points.end() || it->second.action != Action::Stall;
+    });
+    return Action::None;
+  }
+  return action;
 }
 
 }  // namespace detail
 
-void arm(const std::string& specs) { arm_into(state(), specs); }
+void arm(const std::string& specs) {
+  State& s = state();
+  arm_into(s, specs);
+  s.stall_cv.notify_all();  // re-arming a stalled site releases its waiters
+}
 
 void reset() {
   State& s = state();
-  std::lock_guard lock(s.mutex);
-  s.points.clear();
-  s.armed_count.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(s.mutex);
+    s.points.clear();
+    s.armed_count.store(0, std::memory_order_relaxed);
+  }
+  s.stall_cv.notify_all();  // release any thread parked in a Stall
 }
 
 std::uint64_t hit_count(std::string_view site) {

@@ -11,13 +11,16 @@
 // Spec grammar (comma-separated list):
 //   spec    := site ':' action modifier*
 //   site    := [A-Za-z0-9_.]+            e.g. serialize.write
-//   action  := fail | short_write | bitflip | nan
+//   action  := fail | short_write | bitflip | nan | delay=N | stall
 //   modifier:= '_once'                   trigger on exactly one hit
 //            | '_after=' N               first N hits pass untouched
 // Examples:
 //   ADV_FAULT=serialize.write:fail_after=2,trainer.loss:nan_once
 //     → the third and every later save throws an injected I/O error, and
 //       exactly one training batch sees a NaN loss.
+//   ADV_FAULT=serve.batch_forward:delay=50_after=3,serve.model_load:stall
+//     → every forward batch past the third runs 50 ms late, and the
+//       first model load blocks until the site is disarmed.
 //
 // Semantics per armed site, with hit index h counting from 0:
 //   plain         trigger on every hit       (h >= 0)
@@ -25,6 +28,15 @@
 //   _once         trigger only on h == N     (N = 0 unless _after given)
 // The hit counter always advances, triggered or not, so sequencing is
 // deterministic under a fixed workload.
+//
+// Latency actions (`delay=N` milliseconds, `stall`) are TRANSPARENT to
+// the call site: check() performs the sleep itself (off the registry
+// lock) and then returns Action::None, so every existing failpoint site
+// gains latency injection with no code change — a site that throws on
+// != None never misfires on a latency fault. A stalled thread resumes
+// when the site is disarmed (reset(), or re-arming the site with a
+// different action); `_once`/`_after` only select WHICH hits enter the
+// delay/stall, exactly as for the crash-shaped actions.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +52,11 @@ enum class Action : std::uint8_t {
   ShortWrite,  // truncate the artifact being written (torn write)
   BitFlip,     // flip one byte of the written artifact (silent corruption)
   Nan,         // poison a computed value with quiet NaN
+  // Latency actions — executed inside check() itself, which then returns
+  // Action::None so the site proceeds normally (just late). check() never
+  // returns these two values.
+  Delay,       // sleep delay_ms, then proceed
+  Stall,       // block until the site is disarmed, then proceed
 };
 
 const char* to_string(Action a);
@@ -53,8 +70,11 @@ Action check_slow(std::string_view site);
 }
 
 /// Evaluates the failpoint at `site` and advances its hit counter.
-/// Returns Action::None unless the site is armed and triggered. When
-/// nothing is armed this is a single relaxed atomic load.
+/// Returns Action::None unless the site is armed and triggered. A
+/// triggered latency action (Delay/Stall) blocks INSIDE this call and
+/// then returns Action::None — latency faults are invisible to the call
+/// site except as elapsed time. When nothing is armed this is a single
+/// relaxed atomic load.
 inline Action check(std::string_view site) {
   return enabled() ? detail::check_slow(site) : Action::None;
 }

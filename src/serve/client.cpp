@@ -1,5 +1,6 @@
 #include "serve/client.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -8,68 +9,189 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
+
+#include "obs/metrics.hpp"
 
 namespace adv::serve {
 namespace {
 
-int connect_unix(const std::filesystem::path& path) {
+sockaddr_un make_addr(const std::filesystem::path& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   const std::string s = path.string();
   if (s.size() >= sizeof(addr.sun_path)) {
-    throw IoError("socket path too long: " + s);
+    throw ConnectError("socket path too long: " + s);
   }
   std::memcpy(addr.sun_path, s.c_str(), s.size() + 1);
+  return addr;
+}
+
+void set_io_timeout(int fd, int optname, std::chrono::milliseconds t) {
+  if (t.count() <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(t.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((t.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+/// Connect with an optional bound: non-blocking connect, poll for
+/// writability, then check SO_ERROR. A refused/missing socket throws
+/// ConnectError (guaranteed pre-send, so always retry-safe); an elapsed
+/// connect_timeout throws TimeoutError.
+int connect_unix(const std::filesystem::path& path, const ClientConfig& cfg) {
+  const sockaddr_un addr = make_addr(path);
+  const std::string s = path.string();
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     throw IoError(std::string("socket: ") + std::strerror(errno));
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  const bool bounded = cfg.connect_timeout.count() > 0;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (bounded) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && bounded && (errno == EINPROGRESS || errno == EAGAIN)) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr = ::poll(
+        &pfd, 1, static_cast<int>(cfg.connect_timeout.count()));
+    if (pr == 0) {
+      ::close(fd);
+      throw TimeoutError("connect " + s + ": timed out");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (pr < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 ||
+        soerr != 0) {
+      const int e = pr < 0 ? errno : soerr;
+      ::close(fd);
+      throw ConnectError("connect " + s + ": " + std::strerror(e));
+    }
+  } else if (rc < 0) {
     const int e = errno;
     ::close(fd);
-    throw IoError("connect " + s + ": " + std::strerror(e));
+    throw ConnectError("connect " + s + ": " + std::strerror(e));
   }
+  if (bounded) ::fcntl(fd, F_SETFL, flags);
+  set_io_timeout(fd, SO_SNDTIMEO, cfg.send_timeout);
+  set_io_timeout(fd, SO_RCVTIMEO, cfg.recv_timeout);
   return fd;
+}
+
+/// splitmix64 — tiny, seedable, stateless; good enough to decorrelate
+/// backoff schedules across clients without any global RNG state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void count_retry() {
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global().counter("serve/client_retries").add(1);
+  }
 }
 
 }  // namespace
 
-ServeClient::ServeClient(const std::filesystem::path& socket_path,
-                         std::size_t max_body_bytes)
-    : fd_(connect_unix(socket_path)), max_body_(max_body_bytes) {}
-
-ServeClient::~ServeClient() {
-  if (fd_ >= 0) ::close(fd_);
+std::uint64_t RetryPolicy::backoff_ms(std::uint32_t attempt) const {
+  const auto base = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(base_backoff.count(), 0));
+  const auto cap_limit = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(max_backoff.count(), 0));
+  if (base == 0 || cap_limit == 0) return 0;
+  // Doubling cap, clamped before the shift can overflow.
+  const std::uint32_t exp = std::min<std::uint32_t>(attempt, 40);
+  std::uint64_t cap = base << exp;
+  if (cap > cap_limit || (cap >> exp) != base) cap = cap_limit;
+  // Equal jitter: [cap/2, cap], deterministic in (seed, attempt).
+  const std::uint64_t half = cap / 2;
+  return half + mix64(jitter_seed ^ (0x5EEDull + attempt)) % (cap - half + 1);
 }
 
+ServeClient::ServeClient(const std::filesystem::path& socket_path,
+                         ClientConfig cfg)
+    : path_(socket_path),
+      cfg_(cfg),
+      fd_(connect_unix(socket_path, cfg)) {}
+
+ServeClient::~ServeClient() { disconnect(); }
+
 ServeClient::ServeClient(ServeClient&& other) noexcept
-    : fd_(other.fd_), max_body_(other.max_body_) {
+    : path_(std::move(other.path_)),
+      cfg_(other.cfg_),
+      fd_(other.fd_),
+      retries_(other.retries_) {
   other.fd_ = -1;
+}
+
+void ServeClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 ClassifyResponse ServeClient::round_trip(
     const std::vector<std::uint8_t>& request_body) {
-  write_frame(fd_, kRequestMagic, request_body);
-  std::vector<std::uint8_t> body;
-  if (!read_frame(fd_, kResponseMagic, max_body_, body)) {
-    throw IoError("daemon closed the connection");
+  if (fd_ < 0) fd_ = connect_unix(path_, cfg_);
+  try {
+    write_frame(fd_, kRequestMagic, request_body);
+    std::vector<std::uint8_t> body;
+    if (!read_frame(fd_, kResponseMagic, cfg_.max_body_bytes, body)) {
+      throw RemoteClosedError("daemon closed the connection");
+    }
+    return decode_response(body);
+  } catch (const IoError&) {
+    // The stream is no longer at a frame boundary (short write, torn
+    // read, late response still in flight) — never reuse it.
+    disconnect();
+    throw;
   }
-  return decode_response(body);
+}
+
+ClassifyResponse ServeClient::request(
+    const std::vector<std::uint8_t>& request_body) {
+  const RetryPolicy& rp = cfg_.retry;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const bool last = attempt + 1 >= std::max<std::uint32_t>(rp.max_attempts, 1);
+    try {
+      ClassifyResponse r = round_trip(request_body);
+      if (r.status != Status::Overloaded || last) return r;
+      // Shed: the daemon spent nothing on us; backing off and retrying
+      // is exactly what the Overloaded contract invites.
+    } catch (const TimeoutError&) {
+      if (last) throw;
+    } catch (const ConnectError&) {
+      if (last) throw;
+    }
+    // RemoteClosedError / plain IoError / ProtocolError propagate: the
+    // request may have executed, so resending is not idempotent-safe.
+    ++retries_;
+    count_retry();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(rp.backoff_ms(attempt)));
+  }
 }
 
 ClassifyResponse ServeClient::classify(const Tensor& rows,
-                                       magnet::DefenseScheme scheme) {
-  return round_trip(encode_classify_request(scheme, rows));
+                                       magnet::DefenseScheme scheme,
+                                       std::uint32_t deadline_ms) {
+  return request(encode_classify_request(scheme, rows, deadline_ms));
 }
 
 bool ServeClient::ping() {
-  const ClassifyResponse r = round_trip(encode_ping_request());
+  const ClassifyResponse r = request(encode_ping_request());
   return r.ok && r.type == MessageType::Ping;
 }
 
 RawConnection::RawConnection(const std::filesystem::path& socket_path)
-    : fd_(connect_unix(socket_path)) {}
+    : fd_(connect_unix(socket_path, ClientConfig{})) {}
 
 RawConnection::~RawConnection() { close(); }
 

@@ -78,8 +78,19 @@ magnet::DefenseScheme scheme_from_u8(std::uint8_t v) {
 
 }  // namespace
 
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Error: return "error";
+    case Status::Overloaded: return "overloaded";
+    case Status::DeadlineExceeded: return "deadline_exceeded";
+  }
+  return "?";
+}
+
 std::vector<std::uint8_t> encode_classify_request(
-    magnet::DefenseScheme scheme, const Tensor& batch) {
+    magnet::DefenseScheme scheme, const Tensor& batch,
+    std::uint32_t deadline_ms) {
   if (batch.rank() != 4) {
     throw ProtocolError("classify request batch must be rank-4 NCHW, got " +
                         batch.shape_string());
@@ -87,7 +98,8 @@ std::vector<std::uint8_t> encode_classify_request(
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MessageType::Classify));
   w.u8(static_cast<std::uint8_t>(scheme));
-  w.u16(0);
+  w.u16(static_cast<std::uint16_t>(
+      deadline_ms > 0xFFFFu ? 0xFFFFu : deadline_ms));
   for (std::size_t i = 0; i < 4; ++i) {
     w.u32(static_cast<std::uint32_t>(batch.dim(i)));
   }
@@ -113,7 +125,7 @@ Request decode_request(std::span<const std::uint8_t> body) {
   }
   req.type = MessageType::Classify;
   req.scheme = scheme_from_u8(r.u8());
-  if (r.u16() != 0) throw ProtocolError("nonzero reserved field");
+  req.deadline_ms = r.u16();  // formerly reserved-zero: 0 = no deadline
   std::size_t dims[4];
   std::size_t numel = 1;
   for (std::size_t& d : dims) {
@@ -164,13 +176,22 @@ std::vector<std::uint8_t> encode_ok_response(
   return std::move(w.buf);
 }
 
-std::vector<std::uint8_t> encode_error_response(MessageType type,
-                                                const std::string& message) {
+std::vector<std::uint8_t> encode_status_response(MessageType type,
+                                                 Status status,
+                                                 const std::string& message) {
+  if (status == Status::Ok) {
+    throw ProtocolError("encode_status_response: Ok needs an outcome");
+  }
   ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(Status::Error));
+  w.u8(static_cast<std::uint8_t>(status));
   w.u8(static_cast<std::uint8_t>(type));
   w.str(message);
   return std::move(w.buf);
+}
+
+std::vector<std::uint8_t> encode_error_response(MessageType type,
+                                                const std::string& message) {
+  return encode_status_response(type, Status::Error, message);
 }
 
 ClassifyResponse decode_response(std::span<const std::uint8_t> body) {
@@ -183,8 +204,11 @@ ClassifyResponse decode_response(std::span<const std::uint8_t> body) {
     throw ProtocolError("unknown response type " + std::to_string(type));
   }
   resp.type = static_cast<MessageType>(type);
-  if (status == static_cast<std::uint8_t>(Status::Error)) {
+  if (status == static_cast<std::uint8_t>(Status::Error) ||
+      status == static_cast<std::uint8_t>(Status::Overloaded) ||
+      status == static_cast<std::uint8_t>(Status::DeadlineExceeded)) {
     resp.ok = false;
+    resp.status = static_cast<Status>(status);
     resp.error = r.str();
     return resp;
   }
@@ -192,6 +216,7 @@ ClassifyResponse decode_response(std::span<const std::uint8_t> body) {
     throw ProtocolError("unknown response status " + std::to_string(status));
   }
   resp.ok = true;
+  resp.status = Status::Ok;
   if (resp.type == MessageType::Ping) return resp;
 
   const std::uint32_t n = r.u32();
@@ -220,11 +245,17 @@ void read_exact(int fd, void* out, std::size_t len, bool& any_read) {
   while (got < len) {
     const ssize_t r = ::recv(fd, p + got, len - got, 0);
     if (r == 0) {
-      if (!any_read) throw IoError("peer closed");  // caught by read_frame
-      throw IoError("EOF mid-frame");
+      if (!any_read) {
+        throw RemoteClosedError("peer closed");  // caught by read_frame
+      }
+      throw RemoteClosedError("EOF mid-frame");
     }
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("recv timed out");  // SO_RCVTIMEO expired
+      }
+      if (errno == ECONNRESET) throw RemoteClosedError("recv: reset");
       throw IoError(std::string("recv: ") + std::strerror(errno));
     }
     any_read = true;
@@ -240,7 +271,9 @@ bool read_frame(int fd, std::uint32_t expected_magic,
   bool any_read = false;
   try {
     read_exact(fd, header, sizeof(header), any_read);
-  } catch (const IoError&) {
+  } catch (const RemoteClosedError&) {
+    // Only a CLOSE before any bytes is a clean end-of-stream; a timeout
+    // (TimeoutError is-a IoError too) must surface as itself.
     if (!any_read) return false;  // clean EOF at a frame boundary
     throw;
   }
@@ -275,6 +308,12 @@ void write_frame(int fd, std::uint32_t magic,
         ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("send timed out");  // SO_SNDTIMEO expired
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw RemoteClosedError(std::string("send: ") + std::strerror(errno));
+      }
       throw IoError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<std::size_t>(w);

@@ -10,17 +10,32 @@
 // deployment would pin endianness at the object-store seam instead).
 //
 // Classify request body:
-//   u8 type=Classify, u8 scheme, u16 reserved=0,
+//   u8 type=Classify, u8 scheme, u16 deadline_ms (0 = no deadline),
 //   u32 dims[4] (NCHW), f32 payload[n*c*h*w]
+// (deadline_ms occupies what used to be a reserved-zero u16, so pre-
+// deadline encoders produce "no deadline" requests — wire-compatible.)
 // Ping request body:
 //   u8 type=Ping
 // Response body:
-//   u8 status (Ok/Error), u8 type (echo of the request type), then
-//   Error:  u32 msg_len, msg bytes
+//   u8 status (Ok/Error/Overloaded/DeadlineExceeded), u8 type (echo of
+//   the request type), then
+//   non-Ok: u32 msg_len, msg bytes
 //   Ok+Classify: u32 n, u8 rejected[n], i32 predicted[n], u32 det_count,
 //                per detector: u32 name_len, name, f32 threshold,
 //                f32 scores[n]
 //   Ok+Ping: nothing further
+//
+// Overload statuses are part of the wire contract (DESIGN.md §15):
+//   Overloaded       — the daemon refused to queue the request (admission
+//                      control) or is draining; nothing was computed and
+//                      a retry later is safe and useful.
+//   DeadlineExceeded — the request was admitted but its deadline_ms
+//                      budget ran out before a forward pass was spent on
+//                      it; retrying is pointless unless the caller has a
+//                      fresh budget.
+// Both are distinct from Error, which means the daemon TRIED (degraded
+// mode: model-load or forward failure) — errors are not classified as
+// transient and are never retried by the client's retry policy.
 //
 // Robustness contract (exercised by tests/serve_test.cpp):
 //   * bad magic / unsupported version / body_len > max_body_bytes throw
@@ -60,7 +75,14 @@ inline constexpr std::size_t kDefaultMaxBodyBytes = 64ull << 20;
 inline constexpr std::size_t kMaxRowsPerRequest = 4096;
 
 enum class MessageType : std::uint8_t { Classify = 1, Ping = 2 };
-enum class Status : std::uint8_t { Ok = 0, Error = 1 };
+enum class Status : std::uint8_t {
+  Ok = 0,
+  Error = 1,             // degraded mode: the daemon tried and failed
+  Overloaded = 2,        // shed by admission control / drain; retryable
+  DeadlineExceeded = 3,  // expired in queue; no forward pass was spent
+};
+
+const char* to_string(Status s);
 
 /// Malformed frame or body. Header-level instances kill the connection;
 /// body-level instances produce an error response.
@@ -69,20 +91,47 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Transport failure (EOF mid-frame, write to a dead peer).
+/// Transport failure (EOF mid-frame, write to a dead peer). The typed
+/// subclasses below let the client's retry policy distinguish transient
+/// transport failures from everything else; code that doesn't care can
+/// keep catching IoError.
 class IoError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
 
+/// A socket read/write/connect ran past its configured timeout
+/// (SO_RCVTIMEO / SO_SNDTIMEO / ClientConfig::connect_timeout).
+class TimeoutError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// connect() was refused (daemon not listening / socket file missing).
+/// Always raised before any bytes were sent, so retrying is safe even
+/// for non-idempotent requests.
+class ConnectError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// The peer closed the connection (EOF mid-frame or between frames where
+/// a response was still owed, ECONNRESET, EPIPE).
+class RemoteClosedError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 struct Request {
   MessageType type = MessageType::Ping;
   magnet::DefenseScheme scheme = magnet::DefenseScheme::Full;
-  Tensor batch;  // Classify only
+  std::uint16_t deadline_ms = 0;  // 0 = no deadline
+  Tensor batch;                   // Classify only
 };
 
 struct ClassifyResponse {
   bool ok = false;
+  Status status = Status::Error;
   MessageType type = MessageType::Classify;
   std::string error;               // when !ok
   magnet::DefenseOutcome outcome;  // when ok && type == Classify
@@ -91,13 +140,20 @@ struct ClassifyResponse {
 // --- body encode/decode (pure functions over byte vectors; the framing
 // --- below is the only part that touches a file descriptor) -------------
 
+/// deadline_ms is clamped to the u16 wire field; 0 means no deadline.
 std::vector<std::uint8_t> encode_classify_request(
-    magnet::DefenseScheme scheme, const Tensor& batch);
+    magnet::DefenseScheme scheme, const Tensor& batch,
+    std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> encode_ping_request();
 Request decode_request(std::span<const std::uint8_t> body);
 
 std::vector<std::uint8_t> encode_ok_response(
     MessageType type, const magnet::DefenseOutcome& outcome);
+/// Any non-Ok status (Error / Overloaded / DeadlineExceeded) + message.
+std::vector<std::uint8_t> encode_status_response(MessageType type,
+                                                 Status status,
+                                                 const std::string& message);
+/// Shorthand for encode_status_response(type, Status::Error, message).
 std::vector<std::uint8_t> encode_error_response(MessageType type,
                                                 const std::string& message);
 ClassifyResponse decode_response(std::span<const std::uint8_t> body);

@@ -31,6 +31,16 @@ void count(const char* key) {
   }
 }
 
+Status to_status(ResultStatus s) {
+  switch (s) {
+    case ResultStatus::Ok: return Status::Ok;
+    case ResultStatus::Error: return Status::Error;
+    case ResultStatus::Overloaded: return Status::Overloaded;
+    case ResultStatus::DeadlineExceeded: return Status::DeadlineExceeded;
+  }
+  return Status::Error;
+}
+
 }  // namespace
 
 ServeDaemon::ServeDaemon(MicroBatcher::PipelineFactory factory,
@@ -79,9 +89,14 @@ void ServeDaemon::stop() {
     listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain BEFORE disconnecting clients: the batcher finishes its in-flight
+  // batch and sheds the queue, resolving every blocked submit().get() —
+  // handlers then still hold live fds, so clients actually RECEIVE their
+  // Overloaded shed responses instead of a reset connection.
+  batcher_.stop();
   {
-    // Kick handler threads out of blocking reads; their fds are closed by
-    // the handlers themselves on exit.
+    // Now kick handler threads out of blocking reads; their fds are
+    // closed by the handlers themselves on exit.
     std::lock_guard lk(conn_mu_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
@@ -93,7 +108,6 @@ void ServeDaemon::stop() {
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
-  batcher_.stop();
   std::filesystem::remove(cfg_.socket_path);
 }
 
@@ -156,9 +170,13 @@ void ServeDaemon::handle_connection(int fd) {
       resp = encode_ok_response(MessageType::Ping, {});
     } else {
       ServeResult r =
-          batcher_.submit(std::move(req.batch), req.scheme).get();
+          batcher_
+              .submit(std::move(req.batch), req.scheme,
+                      std::chrono::milliseconds(req.deadline_ms))
+              .get();
       resp = r.ok ? encode_ok_response(MessageType::Classify, r.outcome)
-                  : encode_error_response(MessageType::Classify, r.error);
+                  : encode_status_response(MessageType::Classify,
+                                           to_status(r.status), r.error);
     }
     try {
       write_frame(fd, kResponseMagic, resp);

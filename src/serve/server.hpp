@@ -19,6 +19,14 @@
 //   * a client that disconnects mid-frame or mid-response just loses its
 //     connection thread; nothing reaches (or wedges) the batcher.
 //
+// Overload path (DESIGN.md §15): a request's deadline_ms rides the wire
+// into MicroBatcher::submit; shed / deadline-expired / degraded results
+// come back as distinct protocol statuses (Overloaded / DeadlineExceeded
+// / Error). stop() drains in a fixed order — stop accepting, drain the
+// batcher (finish in-flight, shed the queue) while handler fds are STILL
+// open so clients receive their shed responses, then disconnect handlers
+// and unlink the socket.
+//
 // Counters (adv::obs): serve/connections, serve/protocol_errors,
 // serve/frames_rejected.
 #pragma once

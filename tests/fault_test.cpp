@@ -4,9 +4,12 @@
 // ADV_FAULT armed in the environment.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "core/model_zoo.hpp"
 #include "fault/failpoint.hpp"
@@ -95,6 +98,76 @@ TEST_F(FailpointTest, MalformedSpecsThrow) {
   EXPECT_THROW(fault::arm("site:explode"), std::invalid_argument);
   EXPECT_THROW(fault::arm("site:fail_after="), std::invalid_argument);
   EXPECT_THROW(fault::arm("site:fail_often"), std::invalid_argument);
+}
+
+// --- latency actions: delay / stall -------------------------------------
+
+TEST_F(FailpointTest, DelaySleepsThenReportsNone) {
+  fault::arm("slow.site:delay=30");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(fault::check("slow.site"), fault::Action::None);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // The site proceeds normally — the injection is pure latency.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            30);
+  EXPECT_EQ(fault::hit_count("slow.site"), 1u);
+}
+
+TEST_F(FailpointTest, DelayComposesWithOnceAndAfter) {
+  fault::arm("s.d:delay=25_once_after=1");
+  const auto timed_check = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const fault::Action a = fault::check("s.d");
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    EXPECT_EQ(a, fault::Action::None);
+    return ms;
+  };
+  EXPECT_LT(timed_check(), 25);  // hit 0: before _after
+  EXPECT_GE(timed_check(), 25);  // hit 1: the one delayed hit
+  EXPECT_LT(timed_check(), 25);  // hit 2: _once already spent
+}
+
+TEST_F(FailpointTest, MalformedDelaySpecsThrow) {
+  EXPECT_THROW(fault::arm("site:delay"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("site:delay="), std::invalid_argument);
+  EXPECT_THROW(fault::arm("site:delay=abc"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("site:stall=5"), std::invalid_argument);
+}
+
+TEST_F(FailpointTest, StallBlocksUntilSiteDisarmed) {
+  fault::arm("wedge.site:stall");
+  std::atomic<bool> entered{false};
+  std::atomic<bool> released{false};
+  std::thread stalled([&] {
+    entered.store(true);
+    EXPECT_EQ(fault::check("wedge.site"), fault::Action::None);
+    released.store(true);
+  });
+  while (!entered.load()) std::this_thread::yield();
+  // Long enough that a non-blocking check would certainly have finished.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(released.load());
+  fault::reset();  // disarm releases the parked thread
+  stalled.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST_F(FailpointTest, RearmingStalledSiteReleasesWaiters) {
+  fault::arm("wedge.two:stall");
+  std::atomic<bool> released{false};
+  std::thread stalled([&] {
+    EXPECT_EQ(fault::check("wedge.two"), fault::Action::None);
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(released.load());
+  fault::arm("wedge.two:fail");  // replacing the action also releases
+  stalled.join();
+  EXPECT_TRUE(released.load());
+  EXPECT_EQ(fault::check("wedge.two"), fault::Action::Fail);
 }
 
 // --- ModelZoo self-healing cache ---------------------------------------

@@ -627,5 +627,421 @@ TEST_F(ServeTest, AbuseBarrageNeverWedgesBatcher) {
   }
 }
 
+// --- overload protection: admission, deadlines, watchdog, drain ---------
+
+/// Wedges the batcher's first forward with a `stall` failpoint so the
+/// queue can be populated deterministically behind it; fault::reset()
+/// releases the wedge.
+TEST_F(ServeTest, AdmissionQueueShedsWhenFull) {
+  auto pipe = build_pipeline();
+  const std::uint64_t shed_before = counter_value("serve/shed");
+  MicroBatcher batcher([pipe] { return pipe; },
+                       {.max_batch_rows = 1,
+                        .flush_deadline = std::chrono::microseconds{0},
+                        .max_queue_rows = 4});
+  fault::arm("serve.batch_forward:stall");
+  auto wedged = batcher.submit(rows_tensor(1, 0.1f), DefenseScheme::Full);
+  while (batcher.pending() != 0) std::this_thread::yield();  // taken, wedged
+
+  // Fill the admission queue exactly to its bound...
+  std::vector<std::future<ServeResult>> admitted;
+  for (std::size_t i = 0; i < 4; ++i) {
+    admitted.push_back(
+        batcher.submit(rows_tensor(1, 0.2f), DefenseScheme::Full));
+  }
+  EXPECT_EQ(batcher.pending(), 4u);
+  // ...then one more row must be shed immediately: resolved future, no
+  // compute spent, Overloaded status.
+  auto shed = batcher.submit(rows_tensor(1, 0.3f), DefenseScheme::Full);
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const ServeResult r = shed.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.status, ResultStatus::Overloaded);
+  EXPECT_NE(r.error.find("overloaded"), std::string::npos);
+  if (obs::enabled()) {
+    EXPECT_EQ(counter_value("serve/shed") - shed_before, 1u);
+  }
+
+  // Releasing the wedge drains everything that WAS admitted, correctly.
+  fault::reset();
+  ASSERT_TRUE(wedged.get().ok);
+  for (auto& f : admitted) {
+    const ServeResult a = f.get();
+    ASSERT_TRUE(a.ok) << a.error;
+    EXPECT_TRUE(outcomes_bitwise_equal(
+        a.outcome, pipe->classify(rows_tensor(1, 0.2f),
+                                  DefenseScheme::Full)));
+  }
+}
+
+/// An oversized lone request (> max_queue_rows) is still admitted into an
+/// empty queue — it runs as its own batch, mirroring the oversized-batch
+/// rule.
+TEST_F(ServeTest, OversizedRequestAdmittedIntoEmptyQueue) {
+  auto pipe = build_pipeline();
+  MicroBatcher batcher([pipe] { return pipe; },
+                       {.max_batch_rows = 2,
+                        .flush_deadline = std::chrono::microseconds{0},
+                        .max_queue_rows = 2});
+  const ServeResult r =
+      batcher.submit(rows_tensor(5, 0.1f), DefenseScheme::Full).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(outcomes_bitwise_equal(
+      r.outcome, pipe->classify(rows_tensor(5, 0.1f), DefenseScheme::Full)));
+}
+
+/// A queued request whose deadline ran out is answered DeadlineExceeded
+/// at dequeue — no forward pass is spent on it — while a no-deadline
+/// request behind the same wedge is served normally.
+TEST_F(ServeTest, DeadlineExpiresInQueueWithoutForwardPass) {
+  auto pipe = build_pipeline();
+  const std::uint64_t ddl_before = counter_value("serve/deadline_expired");
+  const std::uint64_t rows_before = counter_value("serve/batch_rows");
+  MicroBatcher batcher([pipe] { return pipe; },
+                       {.max_batch_rows = 1,
+                        .flush_deadline = std::chrono::microseconds{0}});
+  fault::arm("serve.batch_forward:stall");
+  auto wedged = batcher.submit(rows_tensor(1, 0.1f), DefenseScheme::Full);
+  while (batcher.pending() != 0) std::this_thread::yield();
+
+  auto doomed = batcher.submit(rows_tensor(1, 0.2f), DefenseScheme::Full,
+                               std::chrono::milliseconds(20));
+  auto patient = batcher.submit(rows_tensor(1, 0.3f), DefenseScheme::Full);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));  // budget gone
+  fault::reset();
+
+  ASSERT_TRUE(wedged.get().ok);
+  const ServeResult d = doomed.get();
+  EXPECT_FALSE(d.ok);
+  EXPECT_EQ(d.status, ResultStatus::DeadlineExceeded);
+  const ServeResult p = patient.get();
+  ASSERT_TRUE(p.ok) << p.error;
+  if (obs::enabled()) {
+    EXPECT_EQ(counter_value("serve/deadline_expired") - ddl_before, 1u);
+    // Only the wedged and patient rows ever reached a forward batch.
+    EXPECT_EQ(counter_value("serve/batch_rows") - rows_before, 2u);
+  }
+}
+
+/// Watchdog: a stuck forward pass fails ITS batch with an error result
+/// while the batcher spawns a replacement executor and keeps serving.
+/// The factory builds a fresh pipeline per call, as the watchdog
+/// contract requires (batcher.hpp).
+TEST_F(ServeTest, WatchdogTripFailsBatchAndKeepsServing) {
+  const std::uint64_t trips_before = counter_value("serve/watchdog_trips");
+  MicroBatcher batcher([] { return build_pipeline(); },
+                       {.max_batch_rows = 1,
+                        .flush_deadline = std::chrono::microseconds{0},
+                        .watchdog_timeout = std::chrono::milliseconds{100}});
+  // Only the FIRST forward stalls; the replacement executor's batches
+  // sail through without needing a disarm.
+  fault::arm("serve.batch_forward:stall_once");
+  const ServeResult tripped =
+      batcher.submit(rows_tensor(1, 0.1f), DefenseScheme::Full).get();
+  EXPECT_FALSE(tripped.ok);
+  EXPECT_EQ(tripped.status, ResultStatus::Error);
+  EXPECT_NE(tripped.error.find("watchdog"), std::string::npos);
+  if (obs::enabled()) {
+    EXPECT_EQ(counter_value("serve/watchdog_trips") - trips_before, 1u);
+  }
+
+  const ServeResult next =
+      batcher.submit(rows_tensor(1, 0.2f), DefenseScheme::Full).get();
+  ASSERT_TRUE(next.ok) << next.error;
+  EXPECT_TRUE(outcomes_bitwise_equal(
+      next.outcome, build_pipeline()->classify(rows_tensor(1, 0.2f),
+                                               DefenseScheme::Full)));
+  // Release the abandoned executor BEFORE stop() so the drain grace is
+  // not spent waiting on a thread the test itself wedged.
+  fault::reset();
+  batcher.stop();
+}
+
+/// With the watchdog enabled but never tripping, batched results remain
+/// bitwise identical to the serial path (the executor thread changes
+/// WHERE classify runs, not what it computes).
+TEST_F(ServeTest, WatchdogIdleKeepsBitwiseIdentity) {
+  auto pipe = build_pipeline();
+  MicroBatcher batcher([pipe] { return pipe; },
+                       {.max_batch_rows = 4,
+                        .flush_deadline = std::chrono::microseconds{500},
+                        .watchdog_timeout = std::chrono::seconds{30}});
+  std::vector<std::future<ServeResult>> futures;
+  for (std::size_t i = 0; i < 12; ++i) {
+    futures.push_back(batcher.submit(rows_tensor(1 + i % 2, 0.05f * i),
+                                     DefenseScheme::Full));
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
+    const ServeResult r = futures[i].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(outcomes_bitwise_equal(
+        r.outcome, pipe->classify(rows_tensor(1 + i % 2, 0.05f * i),
+                                  DefenseScheme::Full)));
+  }
+}
+
+/// stop() drains: the in-flight batch finishes, everything still queued
+/// is answered with an Overloaded shed result, and stop() returns.
+TEST_F(ServeTest, StopShedsQueuedRequests) {
+  auto pipe = build_pipeline();
+  const std::uint64_t shed_before = counter_value("serve/shed");
+  MicroBatcher batcher([pipe] { return pipe; },
+                       {.max_batch_rows = 1,
+                        .flush_deadline = std::chrono::microseconds{0}});
+  fault::arm("serve.batch_forward:stall");
+  auto wedged = batcher.submit(rows_tensor(1, 0.1f), DefenseScheme::Full);
+  while (batcher.pending() != 0) std::this_thread::yield();
+  std::vector<std::future<ServeResult>> queued;
+  for (std::size_t i = 0; i < 3; ++i) {
+    queued.push_back(
+        batcher.submit(rows_tensor(1, 0.2f), DefenseScheme::Full));
+  }
+  std::thread stopper([&] { batcher.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  fault::reset();  // in-flight batch completes; drain takes over
+  stopper.join();
+
+  ASSERT_TRUE(wedged.get().ok);  // finished, not abandoned
+  for (auto& f : queued) {
+    const ServeResult r = f.get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.status, ResultStatus::Overloaded);
+    EXPECT_NE(r.error.find("draining"), std::string::npos);
+  }
+  if (obs::enabled()) {
+    EXPECT_EQ(counter_value("serve/shed") - shed_before, 3u);
+  }
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+/// `delay` latency faults are transparent: injected latency, identical
+/// bytes.
+TEST_F(ServeTest, DelayFaultPreservesBitwiseResults) {
+  auto pipe = build_pipeline();
+  MicroBatcher batcher([pipe] { return pipe; },
+                       {4, std::chrono::microseconds{100}});
+  fault::arm("serve.batch_forward:delay=5");
+  std::vector<std::future<ServeResult>> futures;
+  for (std::size_t i = 0; i < 6; ++i) {
+    futures.push_back(
+        batcher.submit(rows_tensor(1, 0.08f * i), DefenseScheme::Full));
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    const ServeResult r = futures[i].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(outcomes_bitwise_equal(
+        r.outcome,
+        pipe->classify(rows_tensor(1, 0.08f * i), DefenseScheme::Full)));
+  }
+}
+
+// --- typed client errors, retries, deadline over the socket -------------
+
+TEST_F(ServeTest, RetryBackoffScheduleIsDeterministic) {
+  RetryPolicy rp;
+  rp.base_backoff = std::chrono::milliseconds(10);
+  rp.max_backoff = std::chrono::milliseconds(80);
+  rp.jitter_seed = 7;
+  for (std::uint32_t a = 0; a < 10; ++a) {
+    const std::uint64_t v = rp.backoff_ms(a);
+    EXPECT_EQ(v, rp.backoff_ms(a)) << a;  // pure in (seed, attempt)
+    const std::uint64_t cap = std::min<std::uint64_t>(10ull << a, 80);
+    EXPECT_GE(v, cap / 2) << a;
+    EXPECT_LE(v, cap) << a;
+  }
+  RetryPolicy other = rp;
+  other.jitter_seed = 8;
+  bool any_differ = false;
+  for (std::uint32_t a = 0; a < 10; ++a) {
+    any_differ = any_differ || other.backoff_ms(a) != rp.backoff_ms(a);
+  }
+  EXPECT_TRUE(any_differ);  // the seed actually decorrelates schedules
+}
+
+TEST_F(ServeTest, ConnectToMissingSocketThrowsTypedError) {
+  const auto path = test_socket_path();
+  std::filesystem::remove(path);
+  EXPECT_THROW(ServeClient{path}, ConnectError);
+}
+
+/// A wedged daemon surfaces as TimeoutError through recv_timeout instead
+/// of hanging the caller; the daemon itself stays healthy once released.
+TEST_F(ServeTest, RecvTimeoutSurfacesAsTypedError) {
+  DaemonFixture fx;
+  fault::arm("serve.batch_forward:stall");
+  {
+    ClientConfig ccfg;
+    ccfg.recv_timeout = std::chrono::milliseconds(150);
+    ServeClient client(fx.cfg.socket_path, ccfg);
+    EXPECT_THROW(client.classify(rows_tensor(1, 0.2f), DefenseScheme::Full),
+                 TimeoutError);
+  }
+  fault::reset();
+  fx.expect_alive();
+}
+
+/// Overloaded responses are retried (and only those): a client with a
+/// retry budget spends it against a saturated daemon, counts its
+/// retries, and still comes back Overloaded once the budget is gone.
+TEST_F(ServeTest, ClientRetriesShedRequestsWithBackoff) {
+  auto pipe = build_pipeline();
+  const std::uint64_t retries_before = counter_value("serve/client_retries");
+  ServeConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.batch = {.max_batch_rows = 1,
+               .flush_deadline = std::chrono::microseconds{0},
+               .max_queue_rows = 1};
+  ServeDaemon daemon([pipe] { return pipe; }, cfg);
+  daemon.start();
+  fault::arm("serve.batch_forward:stall");
+
+  // Wedge the daemon: one request parked in-flight at the stall, then a
+  // second filling the 1-row admission queue behind it. hit_count flips
+  // exactly when the first batch reaches the failpoint, so the ordering
+  // is deterministic; the queued row cannot leave while the (inline)
+  // batcher thread is stalled.
+  std::thread wedge_inflight([&] {
+    ServeClient c(cfg.socket_path);
+    const auto r = c.classify(rows_tensor(1, 0.1f), DefenseScheme::Full);
+    EXPECT_TRUE(r.ok) << r.error;
+  });
+  while (fault::hit_count("serve.batch_forward") == 0) {
+    std::this_thread::yield();
+  }
+  std::thread wedge_queued([&] {
+    ServeClient c(cfg.socket_path);
+    const auto r = c.classify(rows_tensor(1, 0.15f), DefenseScheme::Full);
+    EXPECT_TRUE(r.ok) << r.error;
+  });
+  while (daemon.batcher().pending() == 0) std::this_thread::yield();
+
+  ClientConfig ccfg;
+  ccfg.retry.max_attempts = 3;
+  ccfg.retry.base_backoff = std::chrono::milliseconds(1);
+  ccfg.retry.max_backoff = std::chrono::milliseconds(4);
+  ServeClient retrier(cfg.socket_path, ccfg);
+  const ClassifyResponse shed =
+      retrier.classify(rows_tensor(1, 0.2f), DefenseScheme::Full);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.status, Status::Overloaded);
+  EXPECT_EQ(retrier.retries(), 2u);  // 3 attempts = 2 retries
+  if (obs::enabled()) {
+    EXPECT_EQ(counter_value("serve/client_retries") - retries_before, 2u);
+  }
+
+  fault::reset();
+  wedge_inflight.join();
+  wedge_queued.join();
+  daemon.stop();
+}
+
+/// deadline_ms rides the wire: a request queued behind a wedge with a
+/// small budget comes back DeadlineExceeded, not Ok and not Error.
+TEST_F(ServeTest, DeadlineTravelsOverSocket) {
+  DaemonFixture fx;
+  fault::arm("serve.batch_forward:stall");
+  std::thread wedge([&] {
+    ServeClient c(fx.cfg.socket_path);
+    const auto r = c.classify(rows_tensor(1, 0.1f), DefenseScheme::Full);
+    EXPECT_TRUE(r.ok) << r.error;
+  });
+  // The wedge is provably in-flight (not merely queued) once the forward
+  // failpoint records a hit, so `doomed` lands in the queue behind it.
+  while (fault::hit_count("serve.batch_forward") == 0) {
+    std::this_thread::yield();
+  }
+
+  std::thread doomed([&] {
+    ServeClient c(fx.cfg.socket_path);
+    const auto r = c.classify(rows_tensor(1, 0.2f), DefenseScheme::Full,
+                              /*deadline_ms=*/20);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.status, Status::DeadlineExceeded);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  fault::reset();
+  doomed.join();
+  wedge.join();
+  fx.expect_alive();
+}
+
+/// Chaos soak (the ISSUE's acceptance scenario in miniature): a tiny
+/// daemon with delay faults armed, saturated by concurrent clients with
+/// mixed deadlines and retry budgets. Nothing may deadlock, every
+/// request resolves with a legal status, the batcher accounting
+/// invariant holds exactly, and shutdown drains cleanly.
+TEST_F(ServeTest, ChaosSoakUnderLatencyFaultsDrainsAndAccounts) {
+  auto pipe = build_pipeline();
+  const std::uint64_t req0 = counter_value("serve/requests");
+  const std::uint64_t ok0 = counter_value("serve/responses_ok");
+  const std::uint64_t err0 = counter_value("serve/responses_error");
+  const std::uint64_t shed0 = counter_value("serve/shed");
+  const std::uint64_t ddl0 = counter_value("serve/deadline_expired");
+
+  ServeConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.batch = {.max_batch_rows = 1,
+               .flush_deadline = std::chrono::microseconds{0},
+               .max_queue_rows = 2,
+               .watchdog_timeout = std::chrono::seconds{20}};
+  ServeDaemon daemon([pipe] { return pipe; }, cfg);
+  daemon.start();
+  fault::arm("serve.model_load:delay=10,serve.batch_forward:delay=5");
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 12;
+  std::atomic<std::size_t> transport_failures{0};
+  std::atomic<std::size_t> illegal_statuses{0};
+  std::atomic<std::size_t> served_ok{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        ClientConfig ccfg;
+        ccfg.recv_timeout = std::chrono::milliseconds(10000);
+        if (c % 3 == 0) {
+          ccfg.retry.max_attempts = 2;
+          ccfg.retry.base_backoff = std::chrono::milliseconds(2);
+          ccfg.retry.jitter_seed = c;
+        }
+        const std::uint32_t deadline_ms = (c % 2 == 0) ? 30 : 0;
+        ServeClient client(cfg.socket_path, ccfg);
+        for (std::size_t i = 0; i < kPerClient; ++i) {
+          const auto r = client.classify(rows_tensor(1, 0.05f * (i % 7)),
+                                         DefenseScheme::Full, deadline_ms);
+          if (r.ok) {
+            served_ok.fetch_add(1);
+          } else if (r.status != Status::Overloaded &&
+                     r.status != Status::DeadlineExceeded) {
+            // delay faults are transparent: Error would be a real bug
+            illegal_statuses.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        transport_failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(transport_failures.load(), 0u);
+  EXPECT_EQ(illegal_statuses.load(), 0u);
+  EXPECT_GT(served_ok.load(), 0u);  // overload shed SOME, not ALL
+  EXPECT_EQ(daemon.batcher().pending(), 0u);
+  daemon.stop();  // must not hang (drain ordering, server.hpp)
+  fault::reset();
+
+  if (obs::enabled()) {
+    const std::uint64_t requests = counter_value("serve/requests") - req0;
+    const std::uint64_t ok = counter_value("serve/responses_ok") - ok0;
+    const std::uint64_t err = counter_value("serve/responses_error") - err0;
+    const std::uint64_t shed = counter_value("serve/shed") - shed0;
+    const std::uint64_t ddl = counter_value("serve/deadline_expired") - ddl0;
+    EXPECT_EQ(requests, ok + err + shed + ddl);  // nothing lost, ever
+    EXPECT_EQ(err, 0u);
+    EXPECT_EQ(ok, served_ok.load());
+  }
+}
+
 }  // namespace
 }  // namespace adv::serve

@@ -505,6 +505,8 @@ TEST(ShardDriver, CrashedWorkerIsRetriedThenReported) {
   // attempt and exits 42 before doing any work.
   ::setenv("ADV_FAULT", "shard.worker.1:fail", 1);
 
+  const std::uint64_t backoff0 =
+      obs::MetricsRegistry::global().counter("shard/retry_backoff_ms").value();
   const ShardReport rep = run_shard_driver(opts);
   EXPECT_FALSE(rep.all_ok());
   EXPECT_EQ(rep.launched, 3u);  // 2 initial spawns + 1 retry
@@ -514,6 +516,12 @@ TEST(ShardDriver, CrashedWorkerIsRetriedThenReported) {
   EXPECT_TRUE(rep.shards[0].ok());
   EXPECT_EQ(rep.shards[1].exit_status, 42);
   EXPECT_EQ(rep.shards[1].attempts, 2u);
+  // The one relaunch slept its deterministic backoff and recorded it.
+  EXPECT_EQ(obs::MetricsRegistry::global()
+                    .counter("shard/retry_backoff_ms")
+                    .value() -
+                backoff0,
+            retry_backoff_ms(1, 0, opts.retry_base_ms, opts.retry_cap_ms));
 
   // The incomplete artifact group is left unmerged: shard 0's piece
   // survives for inspection and no canonical file appears.
@@ -549,6 +557,55 @@ TEST(ShardDriver, RunCommandDecodesExitStatus) {
   EXPECT_EQ(run_command({"/bin/true"}), 0);
   EXPECT_EQ(run_command({"/bin/false"}), 1);
   EXPECT_EQ(run_command({"/no/such/binary"}), 127);
+}
+
+// --- relaunch backoff schedule ----------------------------------------
+
+TEST(ShardDriver, BackoffScheduleIsDeterministicAndCapped) {
+  // Pure function: same inputs, same output, across calls and processes.
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t a = 0; a < 8; ++a) {
+      EXPECT_EQ(retry_backoff_ms(k, a, 25, 2000),
+                retry_backoff_ms(k, a, 25, 2000));
+    }
+  }
+  // Equal-jitter shape: every value sits in [cap/2, cap] where the cap
+  // doubles per attempt until retry_cap_ms clamps it.
+  for (std::size_t a = 0; a < 12; ++a) {
+    const std::uint64_t cap = std::min<std::uint64_t>(25ull << a, 2000);
+    const std::uint64_t v = retry_backoff_ms(0, a, 25, 2000);
+    EXPECT_GE(v, cap / 2) << "attempt " << a;
+    EXPECT_LE(v, cap) << "attempt " << a;
+  }
+  // Huge attempt numbers must not overflow past the cap.
+  EXPECT_LE(retry_backoff_ms(3, 500, 25, 2000), 2000u);
+  // Crashed siblings get distinct pauses (no thundering relaunch).
+  EXPECT_NE(retry_backoff_ms(0, 0, 1000, 100000),
+            retry_backoff_ms(1, 0, 1000, 100000));
+  // Disabled backoff stays disabled.
+  EXPECT_EQ(retry_backoff_ms(0, 3, 0, 2000), 0u);
+}
+
+TEST(ShardDriver, MaxRetriesGrantsExtraAttempts) {
+  const auto root = fresh_temp_dir("adv_shard_driver_budget");
+  ScopedChdir cd(root / "cwd");
+  EnvGuard cache_guard("SHARD_TEST_CACHE");
+  EnvGuard fault_guard("ADV_FAULT");
+  auto opts = sim_driver_options(root, 2);
+  opts.max_retries = 3;
+  opts.retry_base_ms = 1;  // keep the test fast; schedule still recorded
+  opts.retry_cap_ms = 4;
+  ::setenv("SHARD_TEST_CACHE", opts.cache_dir.c_str(), 1);
+  ::setenv("ADV_FAULT", "shard.worker.1:fail", 1);
+
+  const ShardReport rep = run_shard_driver(opts);
+  EXPECT_FALSE(rep.all_ok());
+  EXPECT_EQ(rep.launched, 5u);  // 2 initial + 3 relaunches of shard 1
+  EXPECT_EQ(rep.retried, 3u);
+  EXPECT_EQ(rep.failed, 1u);
+  ASSERT_EQ(rep.shards.size(), 2u);
+  EXPECT_EQ(rep.shards[1].attempts, 4u);
+  EXPECT_TRUE(rep.shards[0].ok());
 }
 
 }  // namespace

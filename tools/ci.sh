@@ -180,6 +180,16 @@ echo "== serve tests (label: serve) =="
 # it by label so a serving regression is called out on its own.
 ctest --test-dir "$build_dir" -L serve --output-on-failure -j"$jobs"
 
+echo "== serve chaos (ADV_FAULT latency faults, label: serve) =="
+# Same pattern as the fault-label re-run above, with the latency grammar:
+# arm delay + stall(_after, never reached in practice) sites from the
+# environment and re-run the serving battery. Proves the env plumbing
+# parses the delay/stall actions and that the whole battery — including
+# the chaos soak, which arms its own faults on top — passes with global
+# latency-fault state active.
+ADV_FAULT='serve.batch_forward:delay=1,serve.model_load:delay=1,ci.smoke:stall_after=1000000' \
+  ctest --test-dir "$build_dir" -L serve --output-on-failure -j"$jobs"
+
 echo "== serving bench (REPRO_SCALE=smoke) =="
 # serve_bench builds the default MNIST MagNet (sharing the shard_ci
 # cache, so models are already trained), starts the daemon, replays a
@@ -223,6 +233,29 @@ if [ -s "$serve_dir/BENCH_serve.json" ]; then
   if [ "$serve_shape_ok" = 1 ]; then
     echo "ok: BENCH_serve.json covers depths 1/2/4/8 (p50/p99/throughput/occupancy)"
   fi
+
+  # Overload phase gates: the saturating run must have actually shed
+  # work AND expired deadlines (a zero means the overload never bit),
+  # and the accounting invariant requests == ok + errors + shed +
+  # deadline_expired must hold exactly (gauge `accounted` is computed
+  # in-process from the counter deltas).
+  if grep -q '"key": "serve/bench/overload/accounted", "kind": "gauge", "value": 1}' \
+       "$serve_dir/BENCH_serve.json"; then
+    echo "ok: overload accounting invariant holds (requests == ok+errors+shed+expired)"
+  else
+    echo "FAIL: serve/bench/overload/accounted != 1" >&2
+    fail=1
+  fi
+  for m in shed deadline_expired; do
+    v=$(sed -n "s/.*\"key\": \"serve\/bench\/overload\/$m\", \"kind\": \"gauge\", \"value\": \([0-9.]*\).*/\1/p" \
+        "$serve_dir/BENCH_serve.json")
+    if awk -v x="${v:-0}" 'BEGIN { exit !(x >= 1) }'; then
+      echo "ok: overload phase $m = $v (> 0)"
+    else
+      echo "FAIL: overload phase $m = ${v:-missing} (expected > 0)" >&2
+      fail=1
+    fi
+  done
 else
   echo "MISSING: $serve_dir/BENCH_serve.json" >&2
   fail=1

@@ -10,6 +10,12 @@
 //   serve_daemon --socket PATH [--dataset mnist|cifar]
 //                [--variant default|jsd|wide|wide-jsd]
 //                [--max-batch N] [--deadline-us N]
+//                [--max-queue-rows N] [--watchdog-ms N]
+//
+// --max-queue-rows bounds the admission queue (requests past it are shed
+// with Overloaded); --watchdog-ms > 0 arms the batch watchdog (a stuck
+// forward pass fails its batch and the daemon keeps serving). See
+// DESIGN.md §15 and serve/batcher.hpp.
 //
 // Talk to it with serve::ServeClient (bench/serve_bench.cpp is the
 // reference driver). REPRO_SCALE / REPRO_CACHE_DIR select the model scale
@@ -33,7 +39,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--dataset mnist|cifar]\n"
                "          [--variant default|jsd|wide|wide-jsd]\n"
-               "          [--max-batch N] [--deadline-us N]\n",
+               "          [--max-batch N] [--deadline-us N]\n"
+               "          [--max-queue-rows N] [--watchdog-ms N]\n",
                argv0);
   return 2;
 }
@@ -82,11 +89,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-us" && val) {
       cfg.batch.flush_deadline = std::chrono::microseconds(std::atol(val));
       ++i;
+    } else if (arg == "--max-queue-rows" && val) {
+      cfg.batch.max_queue_rows = static_cast<std::size_t>(std::atol(val));
+      ++i;
+    } else if (arg == "--watchdog-ms" && val) {
+      cfg.batch.watchdog_timeout = std::chrono::milliseconds(std::atol(val));
+      ++i;
     } else {
       return usage(argv[0]);
     }
   }
-  if (socket_path.empty() || cfg.batch.max_batch_rows == 0) {
+  if (socket_path.empty() || cfg.batch.max_batch_rows == 0 ||
+      cfg.batch.max_queue_rows == 0) {
     return usage(argv[0]);
   }
   cfg.socket_path = socket_path;
@@ -108,10 +122,14 @@ int main(int argc, char** argv) {
       },
       cfg);
   daemon.start();
-  std::printf("serve_daemon: %s MagNet %s on %s (max-batch %zu, deadline %lld us)\n",
-              core::to_string(dataset), core::to_string(variant),
-              socket_path.c_str(), cfg.batch.max_batch_rows,
-              static_cast<long long>(cfg.batch.flush_deadline.count()));
+  std::printf(
+      "serve_daemon: %s MagNet %s on %s (max-batch %zu, deadline %lld us, "
+      "queue %zu rows, watchdog %lld ms)\n",
+      core::to_string(dataset), core::to_string(variant), socket_path.c_str(),
+      cfg.batch.max_batch_rows,
+      static_cast<long long>(cfg.batch.flush_deadline.count()),
+      cfg.batch.max_queue_rows,
+      static_cast<long long>(cfg.batch.watchdog_timeout.count()));
   std::fflush(stdout);
 
   int sig = 0;
