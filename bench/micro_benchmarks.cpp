@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "attacks/ead.hpp"
 #include "magnet/autoencoder.hpp"
@@ -237,6 +239,148 @@ void write_gemm_json(const char* path) {
   std::printf("wrote %s\n", path);
 }
 
+/// Per-shape direct-vs-im2col conv A/B over the MagNet model shapes.
+/// Each case times forward and backward on both paths (best of `reps`
+/// after warmup) and checks bitwise identity of the forward output, the
+/// input gradient and the weight/bias gradients. Writes per-case times,
+/// speedups and identity flags plus the aggregate "identity" and
+/// "min_same3x3_fwd_speedup" fields to BENCH_conv.json; tools/ci.sh
+/// gates on identity == 1 and min_same3x3_fwd_speedup >= 2.
+void write_conv_json(const char* path) {
+  struct Case {
+    const char* name;
+    nn::Conv2dConfig cfg;
+    std::size_t batch, hw;
+    // 3x3 "same" conv of the MagNet defense stack (autoencoder I/II,
+    // filters 3 and 12): these are the shapes the >= 2x gate covers. The
+    // clf_* cases are the attacked classifier's convs, reported for
+    // information (identity-gated, but not speed-gated: their direct
+    // path already runs near GEMM peak, so the headroom over im2col is
+    // structurally smaller).
+    bool magnet_same3x3;
+  };
+  const Case cases[] = {
+      {"ae_in_1to3_28", nn::Conv2d::same(1, 3), 16, 28, true},
+      {"ae_hidden_3to3_28", nn::Conv2d::same(3, 3), 16, 28, true},
+      {"ae_out_3to1_28", nn::Conv2d::same(3, 1), 16, 28, true},
+      {"ae_hidden_12to12_28", nn::Conv2d::same(12, 12), 16, 28, true},
+      {"clf_1to16_28", nn::Conv2d::same(1, 16), 16, 28, false},
+      {"clf_16to32_14", nn::Conv2d::same(16, 32), 8, 14, false},
+  };
+  constexpr int kReps = 7;
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "micro_benchmarks: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"unit\": \"ms\",\n  \"threads\": %zu,\n",
+               ThreadPool::global().thread_count());
+
+  bool all_identical = true;
+  double min_same3x3_fwd = 1e30;
+  std::string rows;
+  for (const Case& c : cases) {
+    Rng wrng(11);
+    nn::Conv2d direct(c.cfg, wrng);
+    Rng wrng2(11);
+    nn::Conv2d fallback(c.cfg, wrng2);
+    fallback.set_force_im2col(true);
+
+    Rng rng(12);
+    Tensor x({c.batch, c.cfg.in_channels, c.hw, c.hw});
+    fill_uniform(x, rng, 0.0f, 1.0f);
+    const std::size_t od = direct.output_dim(c.hw);
+    Tensor g({c.batch, c.cfg.out_channels, od, od});
+    fill_uniform(g, rng, -1.0f, 1.0f);
+
+    auto best_ms = [&](auto&& fn) {
+      fn();  // warmup: pages, pool spin-up, packed-weight scratch
+      double best_s = 1e30;
+      for (int r = 0; r < kReps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best_s =
+            std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+      }
+      return best_s * 1e3;
+    };
+
+    const double fwd_d = best_ms([&] {
+      Tensor y = direct.forward(x, nn::Mode::Infer);
+      benchmark::DoNotOptimize(y.data());
+    });
+    const double fwd_i = best_ms([&] {
+      Tensor y = fallback.forward(x, nn::Mode::Infer);
+      benchmark::DoNotOptimize(y.data());
+    });
+    direct.forward(x, nn::Mode::Eval);
+    fallback.forward(x, nn::Mode::Eval);
+    const double bwd_d = best_ms([&] {
+      direct.zero_grad();
+      Tensor dx = direct.backward(g);
+      benchmark::DoNotOptimize(dx.data());
+    });
+    const double bwd_i = best_ms([&] {
+      fallback.zero_grad();
+      Tensor dx = fallback.backward(g);
+      benchmark::DoNotOptimize(dx.data());
+    });
+
+    // Bitwise identity across the whole layer contract.
+    bool same = true;
+    {
+      const Tensor yd = direct.forward(x, nn::Mode::Eval);
+      const Tensor yi = fallback.forward(x, nn::Mode::Eval);
+      same &= std::memcmp(yd.data(), yi.data(),
+                          yd.numel() * sizeof(float)) == 0;
+      direct.zero_grad();
+      fallback.zero_grad();
+      const Tensor dxd = direct.backward(g);
+      const Tensor dxi = fallback.backward(g);
+      same &= std::memcmp(dxd.data(), dxi.data(),
+                          dxd.numel() * sizeof(float)) == 0;
+      const auto gd = direct.gradients();
+      const auto gi = fallback.gradients();
+      for (std::size_t p = 0; p < gd.size(); ++p) {
+        same &= std::memcmp(gd[p]->data(), gi[p]->data(),
+                            gd[p]->numel() * sizeof(float)) == 0;
+      }
+    }
+    all_identical &= same;
+
+    const double fwd_speedup = fwd_i / fwd_d;
+    const double bwd_speedup = bwd_i / bwd_d;
+    if (c.magnet_same3x3) {
+      min_same3x3_fwd = std::min(min_same3x3_fwd, fwd_speedup);
+    }
+
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "%s    {\"name\": \"%s\", \"magnet_same3x3\": %d, \"identity\": %d,\n"
+        "     \"fwd_ms_direct\": %.4f, \"fwd_ms_im2col\": %.4f, "
+        "\"fwd_speedup\": %.2f,\n"
+        "     \"bwd_ms_direct\": %.4f, \"bwd_ms_im2col\": %.4f, "
+        "\"bwd_speedup\": %.2f}",
+        rows.empty() ? "" : ",\n", c.name, c.magnet_same3x3 ? 1 : 0,
+        same ? 1 : 0, fwd_d, fwd_i, fwd_speedup, bwd_d, bwd_i, bwd_speedup);
+    rows += row;
+    std::printf(
+        "BENCH_conv %-18s fwd %.2fx (%.3f -> %.3f ms)  bwd %.2fx  "
+        "identity %d\n",
+        c.name, fwd_speedup, fwd_i, fwd_d, bwd_speedup, same ? 1 : 0);
+  }
+  std::fprintf(f,
+               "  \"identity\": %d,\n"
+               "  \"min_same3x3_fwd_speedup\": %.2f,\n"
+               "  \"cases\": [\n%s\n  ]\n}\n",
+               all_identical ? 1 : 0, min_same3x3_fwd, rows.c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 /// End-to-end active-set engine A/B: one full EAD run (kappa = 15, the
 /// paper's high-confidence setting) over a synthetic MNIST-like batch,
 /// with row compaction + workspace reuse ON vs OFF. Early abort is enabled
@@ -348,7 +492,16 @@ void emit_layer_metrics(const char* path) {
     m.forward(x, nn::Mode::Eval);
     m.backward(g);
   }
-  if (obs::write_json(path, "layer/")) {
+  // Per-layer timings plus the conv path metrics (per-shape
+  // conv/<shape>/{direct,im2col} timers and the direct_hits /
+  // im2col_fallback counters) in one dump.
+  auto samples = obs::MetricsRegistry::global().snapshot("conv/");
+  const auto layers = obs::MetricsRegistry::global().snapshot("layer/");
+  samples.insert(samples.end(), layers.begin(), layers.end());
+  const std::string json = obs::samples_to_json(samples);
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
     std::printf("wrote %s\n", path);
   } else {
     std::fprintf(stderr, "micro_benchmarks: cannot write %s\n", path);
@@ -366,6 +519,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_gemm_json("BENCH_gemm.json");
+  write_conv_json("BENCH_conv.json");
   write_attack_engine_json("BENCH_attack_engine.json");
   emit_layer_metrics("BENCH_layers.json");
   return 0;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "attacks/engine.hpp"
+#include "attacks/fused.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace adv::attacks {
@@ -161,20 +162,13 @@ std::vector<AttackResult> ead_attack_multi(
           grad[i] += ag[i];
         }
       }
-      {
-        float* g = grad.data();
-        const float* py = ycur.data();
-        const float* p0 = x0.data();
-        for (std::size_t i = 0, m = grad.numel(); i < m; ++i) {
-          g[i] += 2.0f * (py[i] - p0[i]);
-        }
-      }
-
-      // ISTA step: x^(k+1) = S_beta(y - lr * grad) (paper eq. (4)).
-      Tensor z = ycur;
-      axpy_inplace(z, -lr, grad);
+      // ISTA step x^(k+1) = S_beta(y - lr * (grad + 2*(y - x0))) (paper
+      // eq. (4)) as ONE pass over the batch: the regularizer-gradient
+      // add, the gradient step and shrink_project used to be three
+      // separate sweeps — fused_ista_step does the identical arithmetic
+      // in one (bitwise identical, see attacks/fused.hpp).
       Tensor x_new;
-      shrink_project(z, x0, cfg.beta, x_new);
+      fused_ista_step(ycur, grad, x0, lr, cfg.beta, x_new);
       if (!plan.sub() && na < n) {
         // Freeze retired rows: their iterate must not move, so the
         // full-batch x_new gets their frozen x rows back before the

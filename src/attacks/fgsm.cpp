@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "attacks/engine.hpp"
+#include "attacks/fused.hpp"
 #include "nn/loss.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -62,21 +63,11 @@ AttackResult fgsm_attack(AttackTarget& target, const Tensor& images,
     for (std::size_t a = 0; a < na; ++a) {
       const std::size_t g = plan.global(a);
       const std::size_t loc = plan.loc(a);
-      float* px = x.data() + g * row;
-      const float* pg = grad.data() + loc * row;
-      const float* p0 = images.data() + g * row;
-      bool moved = false;
-      for (std::size_t d = 0; d < row; ++d) {
-        float v = px[d] + step * (pg[d] > 0.0f ? 1.0f
-                                  : pg[d] < 0.0f ? -1.0f
-                                                 : 0.0f);
-        // Project back into the eps-ball around x0, then into [0,1].
-        v = std::clamp(v, p0[d] - cfg.epsilon, p0[d] + cfg.epsilon);
-        v = std::clamp(v, 0.0f, 1.0f);
-        if (v != px[d]) moved = true;
-        px[d] = v;
+      if (!fused_sign_step(x.data() + g * row, grad.data() + loc * row,
+                           images.data() + g * row, row, step,
+                           cfg.epsilon)) {
+        to_retire.push_back(g);
       }
-      if (!moved) to_retire.push_back(g);
     }
     for (const std::size_t g : to_retire) {
       rows.retire(g);

@@ -1,0 +1,50 @@
+#include "attacks/fused.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adv::attacks {
+
+void fused_ista_step(const Tensor& y, const Tensor& grad, const Tensor& x0,
+                     float lr, float beta, Tensor& out) {
+  if (!y.same_shape(grad) || !y.same_shape(x0)) {
+    throw std::invalid_argument("fused_ista_step: shape mismatch");
+  }
+  if (!out.same_shape(y)) out = Tensor(y.shape());
+  const float* py = y.data();
+  const float* pg = grad.data();
+  const float* p0 = x0.data();
+  float* po = out.data();
+  for (std::size_t i = 0, n = y.numel(); i < n; ++i) {
+    // Keeping each intermediate in a named float reproduces the rounding
+    // of the former store-to-memory passes exactly (no excess precision).
+    const float g = pg[i] + 2.0f * (py[i] - p0[i]);
+    const float z = py[i] + (-lr) * g;
+    const float diff = z - p0[i];
+    if (diff > beta) {
+      po[i] = std::min(z - beta, 1.0f);
+    } else if (diff < -beta) {
+      po[i] = std::max(z + beta, 0.0f);
+    } else {
+      po[i] = p0[i];
+    }
+  }
+}
+
+bool fused_sign_step(float* x, const float* grad, const float* x0,
+                     std::size_t row, float step, float epsilon) {
+  bool moved = false;
+  for (std::size_t d = 0; d < row; ++d) {
+    float v = x[d] + step * (grad[d] > 0.0f ? 1.0f
+                             : grad[d] < 0.0f ? -1.0f
+                                              : 0.0f);
+    // Project back into the eps-ball around x0, then into [0,1].
+    v = std::clamp(v, x0[d] - epsilon, x0[d] + epsilon);
+    v = std::clamp(v, 0.0f, 1.0f);
+    if (v != x[d]) moved = true;
+    x[d] = v;
+  }
+  return moved;
+}
+
+}  // namespace adv::attacks

@@ -28,6 +28,12 @@ Tensor ReLU::forward(const Tensor& input, Mode mode) {
   return out;
 }
 
+void ReLU::adopt_fused(const Tensor& fused_out, Mode mode) {
+  // The cache must be a copy: the fused output buffer travels on through
+  // the model and may be recycled by the workspace.
+  if (caches_for_backward(mode)) input_ = fused_out;
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
   require_same_shape(input_, grad_output, "ReLU");
   Tensor grad = make_buffer(grad_output.shape());
@@ -74,6 +80,10 @@ Tensor Sigmoid::forward(const Tensor& input, Mode mode) {
   // skipped by handing out the buffer itself — recycling may overwrite it.
   if (caches_for_backward(mode)) output_ = out;
   return out;
+}
+
+void Sigmoid::adopt_fused(const Tensor& fused_out, Mode mode) {
+  if (caches_for_backward(mode)) output_ = fused_out;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {

@@ -9,6 +9,14 @@ class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Installs the backward cache from a conv-fused forward whose epilogue
+  /// already applied this activation; `fused_out` is the POST-activation
+  /// tensor. The gradient mask is unchanged: for y = (x > 0 ? x : 0),
+  /// y <= 0 exactly when x <= 0 (y == x on the open positive side, else
+  /// y == +0.0), so masking on y is bitwise the mask on x.
+  void adopt_fused(const Tensor& fused_out, Mode mode);
+
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -32,6 +40,12 @@ class Sigmoid final : public Layer {
  public:
   Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Installs the backward cache from a conv-fused forward: this layer
+  /// caches its OUTPUT anyway (sigmoid' = y(1-y)), so the fused
+  /// post-activation tensor is exactly the usual cache.
+  void adopt_fused(const Tensor& fused_out, Mode mode);
+
   std::string name() const override { return "Sigmoid"; }
 
  private:

@@ -1,5 +1,6 @@
 #include "nn/conv2d.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -89,30 +90,128 @@ Conv2d::Conv2d(const Conv2dConfig& cfg, Rng& rng)
   if (cfg.kernel == 0 || cfg.stride == 0) {
     throw std::invalid_argument("Conv2d: kernel and stride must be > 0");
   }
+  if (cfg.in_channels == 0 || cfg.out_channels == 0) {
+    throw std::invalid_argument("Conv2d: channel counts must be > 0");
+  }
+  direct_ok_ = conv::direct_supported(cfg.in_channels, cfg.out_channels,
+                                      cfg.kernel, cfg.stride, cfg.padding);
+  obs_key_ = "conv/c" + std::to_string(cfg.in_channels) + "o" +
+             std::to_string(cfg.out_channels) + "k" +
+             std::to_string(cfg.kernel) + "s" + std::to_string(cfg.stride) +
+             "p" + std::to_string(cfg.padding);
   // Glorot with receptive-field fan counts (Keras convention).
   const std::size_t fan_in = cfg.in_channels * cfg.kernel * cfg.kernel;
   const std::size_t fan_out = cfg.out_channels * cfg.kernel * cfg.kernel;
   glorot_uniform(weight_, fan_in, fan_out, rng);
 }
 
+std::size_t Conv2d::output_dim(std::size_t in_dim) const {
+  if (in_dim + 2 * cfg_.padding < cfg_.kernel) {
+    throw std::invalid_argument(
+        "Conv2d: kernel " + std::to_string(cfg_.kernel) +
+        " exceeds padded input extent " +
+        std::to_string(in_dim + 2 * cfg_.padding) + " (in_dim " +
+        std::to_string(in_dim) + ", padding " +
+        std::to_string(cfg_.padding) + ")");
+  }
+  return (in_dim + 2 * cfg_.padding - cfg_.kernel) / cfg_.stride + 1;
+}
+
+obs::Timer* Conv2d::observe_path(bool direct, bool forward) {
+  if (!obs::enabled()) return nullptr;
+  auto& reg = obs::MetricsRegistry::global();
+  if (forward) {
+    static obs::Counter& hits = reg.counter("conv/direct_hits");
+    static obs::Counter& fallbacks = reg.counter("conv/im2col_fallback");
+    (direct ? hits : fallbacks).add(1);
+  }
+  obs::Timer** slots = forward ? fwd_timers_ : bwd_timers_;
+  obs::Timer*& slot = slots[direct ? 0 : 1];
+  if (!slot) {
+    const std::string suffix =
+        std::string(direct ? "/direct" : "/im2col") + (forward ? "" : "_bwd");
+    slot = &reg.timer(obs_key_ + suffix);
+  }
+  return slot;
+}
+
 Tensor Conv2d::forward(const Tensor& input, Mode mode) {
+  return forward_impl(input, mode, conv::Epilogue::None);
+}
+
+Tensor Conv2d::forward_fused(const Tensor& input, Mode mode,
+                             conv::Epilogue epi) {
+  return forward_impl(input, mode, epi);
+}
+
+Tensor Conv2d::forward_impl(const Tensor& input, Mode mode,
+                            conv::Epilogue epi) {
   if (input.rank() != 4 || input.dim(1) != cfg_.in_channels) {
     throw std::invalid_argument("Conv2d::forward: expected [N, " +
                                 std::to_string(cfg_.in_channels) +
                                 ", H, W], got " + input.shape_string());
   }
   if (caches_for_backward(mode)) input_ = input;
-  const std::size_t n = input.dim(0);
   const std::size_t h = input.dim(2), w = input.dim(3);
   if (h + 2 * cfg_.padding < cfg_.kernel || w + 2 * cfg_.padding < cfg_.kernel) {
     throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
   }
-  const std::size_t oh = output_dim(h), ow = output_dim(w);
-  const std::size_t k2 = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
-  const std::size_t plane = oh * ow;
-  Tensor out = make_buffer({n, cfg_.out_channels, oh, ow});
+  const std::size_t n = input.dim(0);
+  Tensor out = make_buffer({n, cfg_.out_channels, output_dim(h), output_dim(w)});
+  const bool direct = uses_direct();
+  obs::ScopedTimer timer(observe_path(direct, /*forward=*/true));
+  ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+  if (direct) {
+    forward_direct(input, out, h, w, epi, pool);
+  } else {
+    forward_im2col(input, out, h, w, epi, pool);
+  }
+  return out;
+}
 
-  auto& pool = ThreadPool::global();
+void Conv2d::forward_direct(const Tensor& input, Tensor& out, std::size_t h,
+                            std::size_t w, conv::Epilogue epi,
+                            ThreadPool& pool) {
+  const std::size_t n = input.dim(0);
+  const std::size_t k2 = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
+  const std::size_t plane = out.dim(2) * out.dim(3);
+  // Weights are repacked per call (training mutates them; the pack is one
+  // small copy). All chunks read the pack shared; the per-chunk padded
+  // sample copy replaces the k^2-times-larger im2col matrix, which is why
+  // the workspace high-water drops on this path. Scratch is acquired
+  // before the parallel region — the workspace mutex is never touched
+  // inside it — and both buffers are fully overwritten before use.
+  Tensor wpack = make_buffer({conv::packed_fwd_size(cfg_.out_channels, k2)});
+  conv::pack_weights_fwd(weight_.data(), cfg_.out_channels, k2, wpack.data());
+  const std::size_t padsz =
+      conv::padded_size(cfg_.in_channels, h, w, cfg_.padding);
+  std::vector<Tensor> pads;
+  pads.reserve(pool.max_chunks());
+  for (std::size_t c = 0; c < pool.max_chunks(); ++c) {
+    pads.push_back(make_buffer({padsz}));
+  }
+  pool.parallel_for_indexed(0, n, [&](std::size_t chunk, std::size_t b0,
+                                      std::size_t b1) {
+    float* xpad = pads[chunk].data();
+    for (std::size_t s = b0; s < b1; ++s) {
+      conv::pad_image(input.data() + s * cfg_.in_channels * h * w,
+                      cfg_.in_channels, h, w, cfg_.padding, xpad);
+      conv::direct_forward(xpad, wpack.data(), bias_.data(),
+                           cfg_.in_channels, h, w, cfg_.kernel, cfg_.padding,
+                           cfg_.out_channels, epi,
+                           out.data() + s * cfg_.out_channels * plane);
+    }
+  });
+  for (auto& t : pads) recycle(std::move(t));
+  recycle(std::move(wpack));
+}
+
+void Conv2d::forward_im2col(const Tensor& input, Tensor& out, std::size_t h,
+                            std::size_t w, conv::Epilogue epi,
+                            ThreadPool& pool) {
+  const std::size_t n = input.dim(0);
+  const std::size_t k2 = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
+  const std::size_t plane = out.dim(2) * out.dim(3);
   // Column scratch is acquired per chunk up front: the workspace mutex is
   // never touched inside the parallel region. im2col fully overwrites the
   // buffer, so recycled contents are invisible.
@@ -135,10 +234,21 @@ Tensor Conv2d::forward(const Tensor& input, Mode mode) {
         float* p = dst + oc * plane;
         for (std::size_t i = 0; i < plane; ++i) p[i] += b;
       }
+      // Fused-activation post-pass: bitwise equal to the standalone
+      // activation layer (same scalar expressions), so fusion does not
+      // depend on which conv path a shape selected.
+      if (epi == conv::Epilogue::ReLU) {
+        for (std::size_t i = 0, m = cfg_.out_channels * plane; i < m; ++i) {
+          dst[i] = dst[i] > 0.0f ? dst[i] : 0.0f;
+        }
+      } else if (epi == conv::Epilogue::Sigmoid) {
+        for (std::size_t i = 0, m = cfg_.out_channels * plane; i < m; ++i) {
+          dst[i] = 1.0f / (1.0f + std::exp(-dst[i]));
+        }
+      }
     }
   });
   for (auto& c : cols) recycle(std::move(c));
-  return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
@@ -153,10 +263,13 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
   const std::size_t k2 = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
   const std::size_t plane = oh * ow;
-  // col2im accumulates, so the input gradient must start zeroed.
-  Tensor grad_input = make_buffer(input_.shape(), /*zeroed=*/true);
+  const bool direct = uses_direct();
+  obs::ScopedTimer timer(observe_path(direct, /*forward=*/false));
+  // col2im accumulates, so the input gradient must start zeroed on the
+  // im2col path; the direct kernel fully overwrites it instead.
+  Tensor grad_input = make_buffer(input_.shape(), /*zeroed=*/!direct);
 
-  auto& pool = ThreadPool::global();
+  ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
   const std::size_t chunks = pool.max_chunks();
   // Per-chunk parameter-gradient scratch, reduced in chunk order below.
   // Kept as members (zeroed each call) so repeated backwards allocate
@@ -168,18 +281,37 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     for (auto& t : dw_parts_) t.fill(0.0f);
     for (auto& t : db_parts_) t.fill(0.0f);
   }
-  // Column scratch per chunk, acquired outside the parallel region (both
-  // buffers are fully overwritten before use).
+  // Scratch per chunk, acquired outside the parallel region (all buffers
+  // are fully overwritten before use). Both paths keep one column buffer
+  // for dW (weight gradients stay on im2col+GEMM, whose pixel-major strip
+  // reduction the direct layout cannot reproduce cheaply); the direct
+  // path replaces the second, dcol, with the much smaller padded
+  // output-gradient copy.
+  const std::size_t cols_per_chunk = direct ? 1 : 2;
   std::vector<Tensor> cols;
-  cols.reserve(2 * chunks);
-  for (std::size_t c = 0; c < 2 * chunks; ++c) {
+  cols.reserve(cols_per_chunk * chunks);
+  for (std::size_t c = 0; c < cols_per_chunk * chunks; ++c) {
     cols.push_back(make_buffer({k2, plane}));
+  }
+  std::vector<Tensor> gpads;
+  Tensor wpackb;
+  const std::size_t bpad = cfg_.kernel - 1 - cfg_.padding;  // direct only
+  if (direct) {
+    wpackb = make_buffer({conv::packed_bwd_size(
+        cfg_.in_channels, cfg_.out_channels, cfg_.kernel)});
+    conv::pack_weights_bwd(weight_.data(), cfg_.in_channels,
+                           cfg_.out_channels, cfg_.kernel, wpackb.data());
+    const std::size_t gpsz =
+        conv::padded_size(cfg_.out_channels, oh, ow, bpad);
+    gpads.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      gpads.push_back(make_buffer({gpsz}));
+    }
   }
 
   pool.parallel_for_indexed(0, n, [&](std::size_t chunk, std::size_t b0,
                                       std::size_t b1) {
-    float* col = cols[2 * chunk].data();
-    float* dcol = cols[2 * chunk + 1].data();
+    float* col = cols[cols_per_chunk * chunk].data();
     Tensor& dw = dw_parts_[chunk];
     Tensor& db = db_parts_[chunk];
     for (std::size_t s = b0; s < b1; ++s) {
@@ -197,16 +329,27 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       // dW += gout [out_c, plane] * col^T [plane, k2] (B stored [k2, plane])
       gemm_a_bt_raw(gout, col, dw.data(), cfg_.out_channels, plane,
                     k2, {.accumulate = true, .parallel = false});
-      // dcol = W^T [k2, out_c] * gout [out_c, plane] (A stored [out_c, k2])
-      gemm_at_b_raw(weight_.data(), gout, dcol, k2,
-                    cfg_.out_channels, plane,
-                    {.accumulate = false, .parallel = false});
-      col2im(dcol, cfg_.in_channels, h, w, cfg_.kernel, cfg_.stride,
-             cfg_.padding,
-             grad_input.data() + s * cfg_.in_channels * h * w);
+      float* gi = grad_input.data() + s * cfg_.in_channels * h * w;
+      if (direct) {
+        float* gpad = gpads[chunk].data();
+        conv::pad_image(gout, cfg_.out_channels, oh, ow, bpad, gpad);
+        conv::direct_input_grad(gpad, wpackb.data(), cfg_.in_channels, h, w,
+                                cfg_.kernel, cfg_.padding,
+                                cfg_.out_channels, gi);
+      } else {
+        float* dcol = cols[2 * chunk + 1].data();
+        // dcol = W^T [k2, out_c] * gout [out_c, plane] (A stored [out_c, k2])
+        gemm_at_b_raw(weight_.data(), gout, dcol, k2,
+                      cfg_.out_channels, plane,
+                      {.accumulate = false, .parallel = false});
+        col2im(dcol, cfg_.in_channels, h, w, cfg_.kernel, cfg_.stride,
+               cfg_.padding, gi);
+      }
     }
   });
   for (auto& c : cols) recycle(std::move(c));
+  for (auto& g : gpads) recycle(std::move(g));
+  if (direct) recycle(std::move(wpackb));
 
   for (std::size_t c = 0; c < chunks; ++c) {
     float* gw = grad_weight_.data();

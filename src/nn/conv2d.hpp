@@ -1,4 +1,20 @@
-// 2-D convolution (NCHW) implemented as im2col + GEMM.
+// 2-D convolution (NCHW) with two interchangeable kernels:
+//
+//   * a direct-convolution path for the small stride-1 shapes that
+//     dominate the MagNet models (3x3 "same" convs), streaming taps out
+//     of a zero-padded sample copy through the register-tiled microkernel
+//     in tensor/conv_micro.hpp — no im2col matrix is materialized, and a
+//     following ReLU/Sigmoid can be fused into the store epilogue
+//     (forward_fused, driven by the Sequential peephole);
+//   * the original im2col + GEMM path for everything else (strided,
+//     oversized shapes), and as the forced A/B baseline.
+//
+// The path is chosen per shape at construction (uses_direct()) and both
+// produce bitwise-identical outputs and gradients — the direct kernels
+// replicate the GEMM's per-element accumulation order (see conv_micro.hpp
+// and DESIGN.md section 16). The split is observable via adv::obs:
+// per-shape "conv/<shape>/{direct,im2col}[_bwd]" timers and global
+// "conv/direct_hits" / "conv/im2col_fallback" counters.
 //
 // Forward / backward parallelize over batch samples (each sample is
 // independent); parameter gradients are accumulated into per-chunk scratch
@@ -6,8 +22,16 @@
 // any thread count.
 #pragma once
 
+#include <string>
+
 #include "nn/layer.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/conv_micro.hpp"
 #include "tensor/rng.hpp"
+
+namespace adv {
+class ThreadPool;
+}  // namespace adv
 
 namespace adv::nn {
 
@@ -21,6 +45,8 @@ struct Conv2dConfig {
 
 class Conv2d final : public Layer {
  public:
+  /// Throws std::invalid_argument for degenerate configs (zero channels,
+  /// kernel or stride) instead of wrapping size_t arithmetic later.
   Conv2d(const Conv2dConfig& cfg, Rng& rng);
 
   /// Convenience for the common 3x3 "same" convolution used by MagNet.
@@ -30,6 +56,15 @@ class Conv2d final : public Layer {
   }
 
   Tensor forward(const Tensor& input, Mode mode) override;
+
+  /// forward() with an activation fused into the conv epilogue, bitwise
+  /// equal to running that activation layer on forward()'s output. The
+  /// Sequential peephole calls this for Conv->ReLU/Sigmoid pairs; the
+  /// activation layer then adopts the fused output as its backward cache.
+  /// Works on both paths (the im2col fallback applies the epilogue as a
+  /// post-pass), so fusion never depends on path selection.
+  Tensor forward_fused(const Tensor& input, Mode mode, conv::Epilogue epi);
+
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
   std::vector<const Tensor*> parameters() const override {
@@ -41,11 +76,33 @@ class Conv2d final : public Layer {
   std::string name() const override { return "Conv2d"; }
 
   const Conv2dConfig& config() const { return cfg_; }
-  std::size_t output_dim(std::size_t in_dim) const {
-    return (in_dim + 2 * cfg_.padding - cfg_.kernel) / cfg_.stride + 1;
-  }
+
+  /// Output size along one spatial dim. Throws std::invalid_argument when
+  /// the kernel exceeds the padded input (the subtraction would wrap).
+  std::size_t output_dim(std::size_t in_dim) const;
+
+  /// True when forward/backward run the direct kernels for this shape.
+  bool uses_direct() const { return direct_ok_ && !force_im2col_; }
+
+  /// Forces the im2col+GEMM path regardless of shape — the A/B baseline
+  /// for identity tests and benchmarks.
+  void set_force_im2col(bool force) { force_im2col_ = force; }
+
+  /// Overrides the pool used by forward/backward (nullptr restores the
+  /// global pool). Test seam: ADV_THREADS pins only the global pool, so
+  /// thread-count identity tests pass dedicated pools instead.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
  private:
+  Tensor forward_impl(const Tensor& input, Mode mode, conv::Epilogue epi);
+  void forward_direct(const Tensor& input, Tensor& out, std::size_t h,
+                      std::size_t w, conv::Epilogue epi, ThreadPool& pool);
+  void forward_im2col(const Tensor& input, Tensor& out, std::size_t h,
+                      std::size_t w, conv::Epilogue epi, ThreadPool& pool);
+  // Resolves the per-shape path timer (nullptr when obs is off) and, on
+  // forward, bumps the global path-split counters.
+  obs::Timer* observe_path(bool direct, bool forward);
+
   Conv2dConfig cfg_;
   Tensor weight_;       // [out_c, in_c * k * k]
   Tensor bias_;         // [out_c]
@@ -56,6 +113,13 @@ class Conv2d final : public Layer {
   // hot attack loop does not reallocate it; zeroed at the top of each call.
   std::vector<Tensor> dw_parts_;
   std::vector<Tensor> db_parts_;
+  bool direct_ok_ = false;       // shape covered by the direct kernels
+  bool force_im2col_ = false;    // A/B override
+  ThreadPool* pool_ = nullptr;   // test seam; nullptr = global pool
+  std::string obs_key_;          // "conv/c<in>o<out>k<k>s<s>p<p>"
+  // Lazily resolved per-shape timers: [0] = direct, [1] = im2col.
+  obs::Timer* fwd_timers_[2] = {nullptr, nullptr};
+  obs::Timer* bwd_timers_[2] = {nullptr, nullptr};
 };
 
 /// Unpacks one sample [C, H, W] (within a batch tensor) into a column

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
 #include "tensor/serialize.hpp"
 
 namespace adv::nn {
@@ -26,32 +28,60 @@ void Sequential::sync_workspace() {
   ws_synced_layers_ = layers_.size();
 }
 
+void Sequential::sync_fusion() {
+  if (fuse_synced_layers_ == layers_.size()) return;
+  fuse_.assign(layers_.size(), FuseStep{});
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    auto* conv = dynamic_cast<Conv2d*>(layers_[i].get());
+    if (!conv) continue;
+    if (auto* relu = dynamic_cast<ReLU*>(layers_[i + 1].get())) {
+      fuse_[i] = {conv::Epilogue::ReLU, conv, relu, nullptr};
+    } else if (auto* sig = dynamic_cast<Sigmoid*>(layers_[i + 1].get())) {
+      fuse_[i] = {conv::Epilogue::Sigmoid, conv, nullptr, sig};
+    }
+  }
+  fuse_synced_layers_ = layers_.size();
+}
+
 Tensor Sequential::forward(const Tensor& input, Mode mode) {
   sync_workspace();
+  sync_fusion();
   if (layers_.empty()) return input;
-  if (obs::enabled()) {
+  const bool instr = obs::enabled();
+  if (instr) {
     sync_obs_timers();
     static obs::Counter& calls =
         obs::MetricsRegistry::global().counter("model/forward_calls");
     calls.add(1);
-    Tensor x;
-    {
-      obs::ScopedTimer t(obs_timers_[0].forward);
-      x = layers_[0]->forward(input, mode);
-    }
-    for (std::size_t i = 1; i < layers_.size(); ++i) {
-      obs::ScopedTimer t(obs_timers_[i].forward);
-      Tensor next = layers_[i]->forward(x, mode);
-      ws_->release(std::move(x));  // layer i has consumed (copied from) x
-      x = std::move(next);
-    }
-    return x;
   }
-  Tensor x = layers_[0]->forward(input, mode);
-  for (std::size_t i = 1; i < layers_.size(); ++i) {
-    Tensor next = layers_[i]->forward(x, mode);
-    ws_->release(std::move(x));
+  // Fused Conv->activation steps consume two layers per iteration: the
+  // conv applies the activation in its store epilogue and the activation
+  // layer adopts the result as its backward cache (its own forward never
+  // runs, so its per-layer timer stays silent; the conv's timer covers
+  // the fused op).
+  Tensor x;
+  bool have_x = false;
+  for (std::size_t i = 0; i < layers_.size();) {
+    const Tensor& in = have_x ? x : input;
+    const FuseStep& f = fuse_[i];
+    const bool fused = fusion_enabled_ && f.epi != conv::Epilogue::None;
+    Tensor next;
+    {
+      obs::ScopedTimer t(instr ? obs_timers_[i].forward : nullptr);
+      next = fused ? f.conv->forward_fused(in, mode, f.epi)
+                   : layers_[i]->forward(in, mode);
+    }
+    if (fused) {
+      if (f.relu) {
+        f.relu->adopt_fused(next, mode);
+      } else {
+        f.sigmoid->adopt_fused(next, mode);
+      }
+    }
+    if (have_x) ws_->release(std::move(x));  // consumed by this step
     x = std::move(next);
+    have_x = true;
+    i += fused ? 2 : 1;
   }
   return x;
 }

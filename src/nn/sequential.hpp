@@ -17,8 +17,13 @@
 
 #include "nn/layer.hpp"
 #include "obs/metrics.hpp"
+#include "tensor/conv_micro.hpp"
 
 namespace adv::nn {
+
+class Conv2d;
+class ReLU;
+class Sigmoid;
 
 class Sequential {
  public:
@@ -85,6 +90,14 @@ class Sequential {
   /// pass allocates fresh tensors — the A/B baseline for benchmarks.
   void set_workspace_enabled(bool on) { ws_->set_enabled(on); }
 
+  /// Toggles the Conv->ReLU/Sigmoid peephole (on by default): detected
+  /// pairs run as one Conv2d::forward_fused call with the activation
+  /// applied in the conv store epilogue, and the activation layer adopts
+  /// the fused output as its backward cache. Off restores one forward
+  /// call per layer — the A/B baseline; outputs and gradients are
+  /// bitwise identical either way.
+  void set_fusion_enabled(bool on) { fusion_enabled_ = on; }
+
   /// Saves all parameter tensors in layer order.
   void save(const std::filesystem::path& path) const;
 
@@ -105,13 +118,28 @@ class Sequential {
   // Re-points every layer at ws_ when the layer list changed since the
   // last pass (same size-based trigger as the timers).
   void sync_workspace();
+  // Fusion plan entry for layer i: when epi != None, layer i is a Conv2d
+  // whose successor is the recorded ReLU/Sigmoid and the forward loop
+  // executes both as one fused step (skipping the activation layer).
+  struct FuseStep {
+    conv::Epilogue epi = conv::Epilogue::None;
+    Conv2d* conv = nullptr;
+    ReLU* relu = nullptr;
+    Sigmoid* sigmoid = nullptr;
+  };
+  // Rebuilds the fusion plan when the layer list changed since the last
+  // pass (same size-based trigger as the timers/workspace syncs).
+  void sync_fusion();
 
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<LayerTimers> obs_timers_;
+  std::vector<FuseStep> fuse_;
   // unique_ptr keeps the arena's address stable across Sequential moves
   // (layers hold a raw pointer to it).
   std::unique_ptr<Workspace> ws_;
   std::size_t ws_synced_layers_ = 0;
+  std::size_t fuse_synced_layers_ = 0;
+  bool fusion_enabled_ = true;
 };
 
 }  // namespace adv::nn

@@ -1,0 +1,281 @@
+#include "tensor/conv_micro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace adv::conv {
+namespace {
+
+using gemm_blocking::KC;
+using gemm_blocking::MR;
+using gemm_blocking::NR;
+
+// The tile kernel below is the GEMM microkernel (gemm.cpp) with the
+// packed-B panel replaced by tap pointers into the padded image: lane j
+// of reduction index p reads taps[p][off + j]. Per output element the
+// reduction is strictly sequential in p within a strip and strips are
+// combined in ascending order — exactly gemm_rows_blocked's KC schedule
+// (strip 0 stores, later strips load-add; a register add of the same two
+// floats rounds identically). The forward caller passes strip = KC; the
+// backward caller passes strip = out_c so each strip is one whole kernel
+// tap, reproducing col2im's add-completed-taps-in-order bracketing.
+//
+// Tail tiles always load full NR lanes (the padded image carries NR
+// floats of zeroed slack) and discard the extra lanes at the store, like
+// the GEMM's zero-padded B panels.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float vf8 __attribute__((vector_size(32), aligned(4), may_alias));
+typedef int vi8 __attribute__((vector_size(32), aligned(4), may_alias));
+
+void conv_tile(std::size_t k2, std::size_t strip, const float* wpanel,
+               const float* const* taps, std::size_t off, float* c,
+               std::size_t ldc, std::size_t mr, std::size_t nr,
+               const float* bias, Epilogue epi) {
+  static_assert(NR == 16, "tile kernel assumes two 8-lane column groups");
+  vf8 acc0[MR], acc1[MR];
+  const float* wp = wpanel;
+  for (std::size_t p0 = 0; p0 < k2; p0 += strip) {
+    const std::size_t pe = std::min(p0 + strip, k2);
+    vf8 s0[MR] = {};
+    vf8 s1[MR] = {};
+    for (std::size_t p = p0; p < pe; ++p, wp += MR) {
+      const float* src = taps[p] + off;
+      const vf8 b0 = *reinterpret_cast<const vf8*>(src);
+      const vf8 b1 = *reinterpret_cast<const vf8*>(src + 8);
+      for (std::size_t i = 0; i < MR; ++i) {
+        s0[i] += wp[i] * b0;
+        s1[i] += wp[i] * b1;
+      }
+    }
+    if (p0 == 0) {
+      for (std::size_t i = 0; i < MR; ++i) {
+        acc0[i] = s0[i];
+        acc1[i] = s1[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < MR; ++i) {
+        acc0[i] += s0[i];
+        acc1[i] += s1[i];
+      }
+    }
+  }
+  if (mr == MR && nr == NR && epi != Epilogue::Sigmoid) {
+    const vf8 zero = {};
+    for (std::size_t i = 0; i < MR; ++i) {
+      vf8 v0 = acc0[i];
+      vf8 v1 = acc1[i];
+      if (bias) {
+        v0 += bias[i];
+        v1 += bias[i];
+      }
+      if (epi == Epilogue::ReLU) {
+        // x > 0 ? x : 0 as a sign-exact mask (max() would keep -0.0,
+        // the activation layer's ternary does not).
+        const vi8 m0 = v0 > zero;
+        const vi8 m1 = v1 > zero;
+        v0 = (vf8)((vi8)v0 & m0);
+        v1 = (vf8)((vi8)v1 & m1);
+      }
+      *reinterpret_cast<vf8*>(c + i * ldc) = v0;
+      *reinterpret_cast<vf8*>(c + i * ldc + 8) = v1;
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      float* ci = c + i * ldc;
+      for (std::size_t j = 0; j < nr; ++j) {
+        float v = j < 8 ? acc0[i][j] : acc1[i][j - 8];
+        if (bias) v += bias[i];
+        if (epi == Epilogue::ReLU) {
+          v = v > 0.0f ? v : 0.0f;
+        } else if (epi == Epilogue::Sigmoid) {
+          // Scalar exp keeps the lane bitwise equal to Sigmoid::forward.
+          v = 1.0f / (1.0f + std::exp(-v));
+        }
+        ci[j] = v;
+      }
+    }
+  }
+}
+#else
+void conv_tile(std::size_t k2, std::size_t strip, const float* wpanel,
+               const float* const* taps, std::size_t off, float* c,
+               std::size_t ldc, std::size_t mr, std::size_t nr,
+               const float* bias, Epilogue epi) {
+  float acc[MR][NR];
+  const float* wp = wpanel;
+  for (std::size_t p0 = 0; p0 < k2; p0 += strip) {
+    const std::size_t pe = std::min(p0 + strip, k2);
+    float s[MR][NR] = {};
+    for (std::size_t p = p0; p < pe; ++p, wp += MR) {
+      const float* src = taps[p] + off;
+      for (std::size_t i = 0; i < MR; ++i) {
+        const float wi = wp[i];
+        for (std::size_t j = 0; j < NR; ++j) s[i][j] += wi * src[j];
+      }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+      for (std::size_t j = 0; j < NR; ++j) {
+        acc[i][j] = p0 == 0 ? s[i][j] : acc[i][j] + s[i][j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* ci = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) {
+      float v = acc[i][j];
+      if (bias) v += bias[i];
+      if (epi == Epilogue::ReLU) {
+        v = v > 0.0f ? v : 0.0f;
+      } else if (epi == Epilogue::Sigmoid) {
+        v = 1.0f / (1.0f + std::exp(-v));
+      }
+      ci[j] = v;
+    }
+  }
+}
+#endif
+
+}  // namespace
+
+void pad_image(const float* src, std::size_t c, std::size_t h, std::size_t w,
+               std::size_t pad, float* dst) {
+  const std::size_t ph = h + 2 * pad, pw = w + 2 * pad;
+  if (pad == 0) {
+    std::memcpy(dst, src, c * h * w * sizeof(float));
+    std::memset(dst + c * h * w, 0, NR * sizeof(float));
+    return;
+  }
+  // Zero only the border bytes: every interior row is fully overwritten
+  // by the memcpy, so a whole-buffer memset would touch each image byte
+  // twice. The buffer may be recycled (arbitrary contents), so every
+  // byte of [dst, dst + c*ph*pw + NR) must still be written — the
+  // segments below tile that range exactly.
+  float* d = dst;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    // Top pad rows plus the first interior row's left pad.
+    std::memset(d, 0, (pad * pw + pad) * sizeof(float));
+    d += pad * pw + pad;
+    const float* s = src + ch * h * w;
+    for (std::size_t r = 0; r < h; ++r) {
+      std::memcpy(d, s, w * sizeof(float));
+      d += w;
+      s += w;
+      // Right pad of this row + left pad of the next row, contiguous;
+      // after the last row this starts the bottom pad block.
+      std::memset(d, 0, 2 * pad * sizeof(float));
+      d += 2 * pad;
+    }
+    // Remainder of the bottom pad rows.
+    std::memset(d, 0, (pad * pw - pad) * sizeof(float));
+    d += pad * pw - pad;
+  }
+  std::memset(d, 0, NR * sizeof(float));
+}
+
+void pack_weights_fwd(const float* weight, std::size_t out_c, std::size_t k2,
+                      float* out) {
+  for (std::size_t t = 0; t * MR < out_c; ++t) {
+    float* panel = out + t * (MR * k2);
+    for (std::size_t p = 0; p < k2; ++p) {
+      for (std::size_t i = 0; i < MR; ++i) {
+        const std::size_t row = t * MR + i;
+        panel[p * MR + i] = row < out_c ? weight[row * k2 + p] : 0.0f;
+      }
+    }
+  }
+}
+
+void pack_weights_bwd(const float* weight, std::size_t in_c,
+                      std::size_t out_c, std::size_t kernel, float* out) {
+  const std::size_t kk = kernel * kernel;
+  const std::size_t k2 = in_c * kk;    // forward reduction (weight row len)
+  const std::size_t k2b = out_c * kk;  // backward reduction
+  for (std::size_t t = 0; t * MR < in_c; ++t) {
+    float* panel = out + t * (MR * k2b);
+    std::size_t p = 0;
+    for (std::size_t tap = 0; tap < kk; ++tap) {
+      for (std::size_t oc = 0; oc < out_c; ++oc, ++p) {
+        for (std::size_t i = 0; i < MR; ++i) {
+          const std::size_t ch = t * MR + i;
+          panel[p * MR + i] =
+              ch < in_c ? weight[oc * k2 + ch * kk + tap] : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void direct_forward(const float* xpad, const float* wpack, const float* bias,
+                    std::size_t in_c, std::size_t h, std::size_t w,
+                    std::size_t kernel, std::size_t padding,
+                    std::size_t out_c, Epilogue epi, float* out) {
+  const std::size_t ph = h + 2 * padding, pw = w + 2 * padding;
+  const std::size_t oh = ph - kernel + 1, ow = pw - kernel + 1;
+  const std::size_t k2 = in_c * kernel * kernel;
+  const std::size_t plane = oh * ow;
+  // Tap p = c*k*k + ki*k + kj (the im2col row order); the pointer is the
+  // tap's position for output pixel (0, 0), later offset by oh*pw + ow
+  // (stride 1 makes every output row a contiguous padded-row segment).
+  const float* taps[kMaxTaps];
+  std::size_t p = 0;
+  for (std::size_t c = 0; c < in_c; ++c) {
+    for (std::size_t ki = 0; ki < kernel; ++ki) {
+      for (std::size_t kj = 0; kj < kernel; ++kj, ++p) {
+        taps[p] = xpad + (c * ph + ki) * pw + kj;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < oh; ++r) {
+    const std::size_t roff = r * pw;
+    for (std::size_t j0 = 0; j0 < ow; j0 += NR) {
+      const std::size_t nr = std::min(NR, ow - j0);
+      for (std::size_t t = 0; t < out_c; t += MR) {
+        const std::size_t mr = std::min(MR, out_c - t);
+        conv_tile(k2, KC, wpack + (t / MR) * (MR * k2), taps, roff + j0,
+                  out + t * plane + r * ow + j0, plane, mr, nr,
+                  bias ? bias + t : nullptr, epi);
+      }
+    }
+  }
+}
+
+void direct_input_grad(const float* gpad, const float* wpack,
+                       std::size_t in_c, std::size_t h, std::size_t w,
+                       std::size_t kernel, std::size_t padding,
+                       std::size_t out_c, float* dx) {
+  const std::size_t gh = h + kernel - 1, gw = w + kernel - 1;
+  const std::size_t k2b = out_c * kernel * kernel;
+  const std::size_t plane = h * w;
+  // dx[c, ih, iw] = sum over taps (ki, kj) ascending — col2im's row
+  // order — of the tap's completed out-channel sum. gpad carries
+  // pad' = kernel-1-padding of zeros, so dx[ih][iw]'s tap (ki, kj)
+  // reads gpad row ih + (kernel-1-ki), col iw + (kernel-1-kj); taps
+  // whose unpadded output pixel is out of range read exact +0.0 terms
+  // (the taps col2im skips).
+  (void)padding;  // absorbed into gpad's pad'
+  const float* taps[kMaxTaps];
+  std::size_t p = 0;
+  for (std::size_t ki = 0; ki < kernel; ++ki) {
+    for (std::size_t kj = 0; kj < kernel; ++kj) {
+      for (std::size_t oc = 0; oc < out_c; ++oc, ++p) {
+        taps[p] =
+            gpad + (oc * gh + (kernel - 1 - ki)) * gw + (kernel - 1 - kj);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < h; ++r) {
+    const std::size_t roff = r * gw;
+    for (std::size_t j0 = 0; j0 < w; j0 += NR) {
+      const std::size_t nr = std::min(NR, w - j0);
+      for (std::size_t t = 0; t < in_c; t += MR) {
+        const std::size_t mr = std::min(MR, in_c - t);
+        conv_tile(k2b, out_c, wpack + (t / MR) * (MR * k2b), taps,
+                  roff + j0, dx + t * plane + r * w + j0, plane, mr, nr,
+                  nullptr, Epilogue::None);
+      }
+    }
+  }
+}
+
+}  // namespace adv::conv

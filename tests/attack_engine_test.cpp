@@ -404,6 +404,36 @@ TEST(WorkspaceArena, ModelOutputsIdenticalWithWorkspaceOnAndOff) {
   EXPECT_EQ(m2.workspace().reuses(), 0u);
 }
 
+TEST(WorkspaceArena, DirectConvForwardDropsHighWaterVsIm2col) {
+  // The direct-convolution forward needs only the padded-input scratch —
+  // it never materializes the im2col column matrix — so a conv-heavy
+  // forward pass must leave a strictly lower workspace high-water mark
+  // than the same model forced onto the im2col fallback.
+  auto build = [](bool force_im2col) {
+    Rng rng(91);
+    nn::Sequential m;
+    nn::Conv2d& c1 = m.emplace<nn::Conv2d>(nn::Conv2d::same(1, 8), rng);
+    m.emplace<nn::ReLU>();
+    nn::Conv2d& c2 = m.emplace<nn::Conv2d>(nn::Conv2d::same(8, 8), rng);
+    m.emplace<nn::Sigmoid>();
+    c1.set_force_im2col(force_im2col);
+    c2.set_force_im2col(force_im2col);
+    return m;
+  };
+  nn::Sequential direct = build(false);
+  nn::Sequential im2col = build(true);
+  Rng rng(92);
+  Tensor x({4, 1, 8, 8});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  const Tensor yd = direct.forward(x, nn::Mode::Infer);
+  const Tensor yi = im2col.forward(x, nn::Mode::Infer);
+  ASSERT_EQ(0,
+            std::memcmp(yd.data(), yi.data(), yd.numel() * sizeof(float)));
+  EXPECT_GT(im2col.workspace().high_water_bytes(), 0u);
+  EXPECT_LT(direct.workspace().high_water_bytes(),
+            im2col.workspace().high_water_bytes());
+}
+
 TEST(WorkspaceArena, InferMatchesEvalForwardBitwise) {
   nn::Sequential m = conv_classifier(77);
   Rng rng(78);

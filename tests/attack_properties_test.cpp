@@ -4,11 +4,14 @@
 // monotonicity in kappa/epsilon, and shrinkage-operator contraction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "attacks/cw.hpp"
 #include "attacks/ead.hpp"
 #include "attacks/fgsm.hpp"
+#include "attacks/fused.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
 #include "nn/sequential.hpp"
@@ -138,6 +141,69 @@ TEST_P(AttackProperties, ShrinkageIsContractionTowardNatural) {
               std::fabs(clipped[i] - x0[i]) + 1e-6f);
     EXPECT_GE(shrunk[i], 0.0f);
     EXPECT_LE(shrunk[i], 1.0f);
+  }
+}
+
+TEST_P(AttackProperties, FusedIstaStepMatchesSeparateSweepsBitwise) {
+  // fused_ista_step must reproduce the former three-sweep update —
+  // regularizer-gradient add, axpy gradient step, shrink_project — bit
+  // for bit (the attacks/fused.hpp contract EAD's identity gates assume).
+  Rng rng(GetParam() + 71);
+  const float lr = 0.013f;
+  const float beta = 0.04f;
+  Tensor y({3, 17}), grad({3, 17}), x0({3, 17});
+  fill_uniform(y, rng, -0.3f, 1.3f);
+  fill_uniform(grad, rng, -2.0f, 2.0f);
+  fill_uniform(x0, rng, 0.0f, 1.0f);
+
+  // Reference: the literal former code path, one sweep per pass.
+  Tensor g2 = grad;
+  for (std::size_t i = 0; i < g2.numel(); ++i) {
+    g2[i] += 2.0f * (y[i] - x0[i]);
+  }
+  Tensor z = y;
+  axpy_inplace(z, -lr, g2);
+  Tensor want;
+  shrink_project(z, x0, beta, want);
+
+  Tensor got;
+  fused_ista_step(y, grad, x0, lr, beta, got);
+  ASSERT_EQ(got.numel(), want.numel());
+  EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                           want.numel() * sizeof(float)));
+}
+
+TEST_P(AttackProperties, FusedSignStepMatchesSeparateSweepsBitwise) {
+  // fused_sign_step must match the former separate sign-step + two-clamp
+  // loop bitwise, including the moved/fixed-point flag, across iterated
+  // application until the row saturates.
+  Rng rng(GetParam() + 81);
+  const float step = 0.03f;
+  const float eps = 0.07f;
+  Tensor x0({29}), grad({29});
+  fill_uniform(x0, rng, 0.0f, 1.0f);
+  fill_uniform(grad, rng, -1.0f, 1.0f);
+  grad[3] = 0.0f;  // exercise the zero-gradient (no-step) branch
+  Tensor xa = x0;
+  Tensor xb = x0;
+  for (int k = 0; k < 10; ++k) {
+    bool moved_want = false;
+    for (std::size_t d = 0; d < xb.numel(); ++d) {
+      float v = xb[d] + step * (grad[d] > 0.0f   ? 1.0f
+                                : grad[d] < 0.0f ? -1.0f
+                                                 : 0.0f);
+      v = std::clamp(v, x0[d] - eps, x0[d] + eps);
+      v = std::clamp(v, 0.0f, 1.0f);
+      if (v != xb[d]) moved_want = true;
+      xb[d] = v;
+    }
+    const bool moved = fused_sign_step(xa.data(), grad.data(), x0.data(),
+                                       xa.numel(), step, eps);
+    ASSERT_EQ(moved, moved_want) << "iteration " << k;
+    ASSERT_EQ(0, std::memcmp(xa.data(), xb.data(),
+                             xa.numel() * sizeof(float)))
+        << "iteration " << k;
+    if (!moved) break;  // fixed point: the attack would retire this row
   }
 }
 

@@ -163,6 +163,19 @@ TEST_P(GradCheckConv, InputWeightAndBiasGradients) {
   check_layer(layer, x, rng);
 }
 
+// Same cases with the direct-convolution path disabled, so the im2col
+// fallback keeps its own gradient coverage even on shapes where the
+// direct path is the default.
+TEST_P(GradCheckConv, InputWeightAndBiasGradientsIm2colForced) {
+  const ConvCase& c = GetParam();
+  Rng rng(13);
+  nn::Conv2d layer(c.cfg, rng);
+  layer.set_force_im2col(true);
+  Tensor x(c.input_shape);
+  fill_uniform(x, rng, -1.0f, 1.0f);
+  check_layer(layer, x, rng);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, GradCheckConv,
     ::testing::Values(

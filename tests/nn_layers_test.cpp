@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 
@@ -17,6 +19,7 @@
 #include "nn/structural.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "tensor/thread_pool.hpp"
 
 namespace adv::nn {
 namespace {
@@ -296,6 +299,139 @@ TEST(Conv2dTest, Im2ColColToImAreAdjoint) {
     rhs += static_cast<double>(x[i]) * xty[i];
   }
   EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Conv2dTest, RejectsDegenerateConfigsAtConstruction) {
+  Rng rng(86);
+  EXPECT_THROW((Conv2d(Conv2dConfig{0, 2, 3, 1, 1}, rng)),
+               std::invalid_argument);
+  EXPECT_THROW((Conv2d(Conv2dConfig{2, 0, 3, 1, 1}, rng)),
+               std::invalid_argument);
+  EXPECT_THROW((Conv2d(Conv2dConfig{1, 1, 0, 1, 0}, rng)),
+               std::invalid_argument);
+  EXPECT_THROW((Conv2d(Conv2dConfig{1, 1, 3, 0, 1}, rng)),
+               std::invalid_argument);
+}
+
+TEST(Conv2dTest, OutputDimRejectsKernelBeyondPaddedInput) {
+  // kernel > in_dim + 2*padding used to wrap the size_t subtraction into
+  // a garbage output shape; it must throw instead.
+  Rng rng(87);
+  Conv2d conv(Conv2dConfig{1, 1, 5, 1, 0}, rng);
+  EXPECT_EQ(conv.output_dim(5), 1u);
+  EXPECT_THROW(conv.output_dim(3), std::invalid_argument);
+  EXPECT_THROW(conv.forward(Tensor({1, 1, 3, 3}), nn::Mode::Eval),
+               std::invalid_argument);
+}
+
+// --- direct-vs-im2col bitwise identity ----------------------------------
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_TRUE(a.same_shape(b)) << what << ": shape mismatch";
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    std::uint32_t ba = 0, bb = 0;
+    std::memcpy(&ba, a.data() + i, sizeof(ba));
+    std::memcpy(&bb, b.data() + i, sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " differs at " << i << ": " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+struct DirectIdCase {
+  Conv2dConfig cfg;
+  Shape in;
+  bool expect_direct;  // false: shape must fall back to im2col
+};
+
+class Conv2dDirectIdentity : public ::testing::TestWithParam<DirectIdCase> {};
+
+// The contract every perf PR in this repo clears: the new path must be
+// BITWISE identical to the old one, for outputs and all gradients, at
+// any thread count. Two same-seeded layers (identical weights) run the
+// same batch, one forced onto im2col+GEMM.
+TEST_P(Conv2dDirectIdentity, ForwardAndGradientsMatchIm2colBitwise) {
+  const DirectIdCase& tc = GetParam();
+  Rng r1(4242), r2(4242);
+  Conv2d direct(tc.cfg, r1);
+  Conv2d baseline(tc.cfg, r2);
+  baseline.set_force_im2col(true);
+  EXPECT_EQ(direct.uses_direct(), tc.expect_direct);
+  EXPECT_FALSE(baseline.uses_direct());
+
+  // ADV_THREADS pins only the global pool, so thread-count coverage uses
+  // dedicated pools (the gemm_blocked_test idiom).
+  ThreadPool pool1(1), pool4(4);
+  const Tensor x = random_input(tc.in, 97);
+  for (ThreadPool* pool : {&pool1, &pool4}) {
+    direct.set_pool(pool);
+    baseline.set_pool(pool);
+    const Tensor yd = direct.forward(x, nn::Mode::Eval);
+    const Tensor yi = baseline.forward(x, nn::Mode::Eval);
+    expect_bitwise_equal(yd, yi, "forward");
+    const Tensor g = random_input(yd.shape(), 98);
+    direct.zero_grad();
+    baseline.zero_grad();
+    const Tensor dxd = direct.backward(g);
+    const Tensor dxi = baseline.backward(g);
+    expect_bitwise_equal(dxd, dxi, "input grad");
+    expect_bitwise_equal(*direct.gradients()[0], *baseline.gradients()[0],
+                         "weight grad");
+    expect_bitwise_equal(*direct.gradients()[1], *baseline.gradients()[1],
+                         "bias grad");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv2dDirectIdentity,
+    ::testing::Values(
+        // Every conv shape the MagNet models construct (all 3x3 "same"
+        // stride-1: classifier same(1,16)/same(16,32) + ReLU, AE
+        // same(c,f)/same(f,f)/same(f,c) + Sigmoid), on small spatial
+        // dims for speed.
+        DirectIdCase{Conv2d::same(1, 16), Shape({3, 1, 9, 9}), true},
+        DirectIdCase{Conv2d::same(16, 32), Shape({2, 16, 7, 7}), true},
+        DirectIdCase{Conv2d::same(1, 3), Shape({5, 1, 6, 6}), true},
+        DirectIdCase{Conv2d::same(3, 3), Shape({3, 3, 8, 8}), true},
+        DirectIdCase{Conv2d::same(3, 1), Shape({2, 3, 6, 6}), true},
+        // Wide row: exercises the full-NR vector store path (ow >= 16).
+        DirectIdCase{Conv2d::same(1, 8), Shape({2, 1, 6, 20}), true},
+        // in_c*k*k = 288 > KC: exercises the multi-strip accumulator.
+        DirectIdCase{Conv2d::same(32, 4), Shape({1, 32, 6, 6}), true},
+        // Beyond the models: even kernels, valid padding, 5x5.
+        DirectIdCase{Conv2dConfig{1, 2, 2, 1, 0}, Shape({2, 1, 5, 5}), true},
+        DirectIdCase{Conv2dConfig{2, 2, 2, 1, 1}, Shape({2, 2, 5, 5}), true},
+        DirectIdCase{Conv2dConfig{2, 3, 3, 1, 0}, Shape({3, 2, 7, 7}), true},
+        DirectIdCase{Conv2dConfig{2, 4, 5, 1, 2}, Shape({2, 2, 9, 9}), true},
+        // Fallback shapes: stride 2 and padding >= kernel stay on
+        // im2col+GEMM (trivially identical; asserts path selection).
+        DirectIdCase{Conv2dConfig{1, 4, 3, 2, 1}, Shape({2, 1, 8, 8}), false},
+        DirectIdCase{Conv2dConfig{1, 2, 3, 1, 3}, Shape({2, 1, 5, 5}),
+                     false}));
+
+TEST(Conv2dTest, FusedEpilogueMatchesSeparateActivationBitwise) {
+  // forward_fused must equal conv-then-activation on BOTH paths (the
+  // im2col fallback applies the epilogue as a post-pass).
+  for (const bool force_im2col : {false, true}) {
+    Rng r1(91), r2(91);
+    Conv2d fused(Conv2d::same(2, 4), r1);
+    Conv2d plain(Conv2d::same(2, 4), r2);
+    fused.set_force_im2col(force_im2col);
+    plain.set_force_im2col(force_im2col);
+    const Tensor x = random_input({2, 2, 6, 6}, 92);
+    ReLU relu;
+    Sigmoid sigmoid;
+    const Tensor yr = fused.forward_fused(x, nn::Mode::Eval,
+                                          conv::Epilogue::ReLU);
+    const Tensor yr_ref =
+        relu.forward(plain.forward(x, nn::Mode::Eval), nn::Mode::Eval);
+    expect_bitwise_equal(yr, yr_ref, "relu epilogue");
+    const Tensor ys = fused.forward_fused(x, nn::Mode::Eval,
+                                          conv::Epilogue::Sigmoid);
+    const Tensor ys_ref =
+        sigmoid.forward(plain.forward(x, nn::Mode::Eval), nn::Mode::Eval);
+    expect_bitwise_equal(ys, ys_ref, "sigmoid epilogue");
+  }
 }
 
 // --- pooling / upsample -------------------------------------------------

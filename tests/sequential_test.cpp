@@ -2,6 +2,7 @@
 // attack path), and weight serialization.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 
 #include "nn/activations.hpp"
@@ -98,6 +99,60 @@ TEST(Sequential, InputGradientMatchesNumericDifference) {
     const double num = (objective(xp) - objective(xm)) / (2.0 * eps);
     EXPECT_NEAR(dx[i], num, 2e-2f) << "input grad mismatch at " << i;
   }
+}
+
+TEST(Sequential, ConvActivationFusionIsBitwiseInvisible) {
+  // The Conv->ReLU / Conv->Sigmoid peephole (fused epilogue) must be
+  // bitwise invisible: forward outputs, the attack-path input gradient,
+  // and every parameter gradient are identical with fusion on and off.
+  auto build = [](bool fused) {
+    Rng rng(41);
+    Sequential m;
+    m.emplace<Conv2d>(Conv2d::same(1, 4), rng);
+    m.emplace<ReLU>();
+    m.emplace<Conv2d>(Conv2d::same(4, 2), rng);
+    m.emplace<Sigmoid>();
+    m.emplace<Flatten>();
+    m.emplace<Linear>(2 * 6 * 6, 3, rng);
+    m.set_fusion_enabled(fused);
+    return m;
+  };
+  Sequential on = build(true);
+  Sequential off = build(false);
+  Rng rng(42);
+  Tensor x({3, 1, 6, 6});
+  fill_uniform(x, rng, 0.0f, 1.0f);
+  Tensor seed({3, 3});
+  fill_uniform(seed, rng, -1.0f, 1.0f);
+
+  for (const Mode mode : {Mode::Train, Mode::Eval}) {
+    const Tensor y_on = on.forward(x, mode);
+    const Tensor y_off = off.forward(x, mode);
+    ASSERT_EQ(y_on.shape(), y_off.shape());
+    ASSERT_EQ(0, std::memcmp(y_on.data(), y_off.data(),
+                             y_on.numel() * sizeof(float)));
+    const Tensor dx_on = on.backward(seed);
+    const Tensor dx_off = off.backward(seed);
+    ASSERT_EQ(0, std::memcmp(dx_on.data(), dx_off.data(),
+                             dx_on.numel() * sizeof(float)));
+    const auto g_on = on.gradients();
+    const auto g_off = off.gradients();
+    ASSERT_EQ(g_on.size(), g_off.size());
+    for (std::size_t i = 0; i < g_on.size(); ++i) {
+      ASSERT_EQ(0, std::memcmp(g_on[i]->data(), g_off[i]->data(),
+                               g_on[i]->numel() * sizeof(float)))
+          << "parameter gradient " << i;
+    }
+    on.zero_grad();
+    off.zero_grad();
+  }
+
+  // Infer-mode forward (no caches) must agree too — this is the serving
+  // path, where the fused epilogue matters most.
+  const Tensor yi_on = on.forward(x, Mode::Infer);
+  const Tensor yi_off = off.forward(x, Mode::Infer);
+  ASSERT_EQ(0, std::memcmp(yi_on.data(), yi_off.data(),
+                           yi_on.numel() * sizeof(float)));
 }
 
 TEST(Sequential, ZeroGradResetsAllLayers) {

@@ -43,7 +43,8 @@ echo "== micro benchmarks (metrics emission) =="
                           --benchmark_min_time=0.05)
 
 fail=0
-for artifact in BENCH_gemm.json BENCH_layers.json BENCH_attack_engine.json; do
+for artifact in BENCH_gemm.json BENCH_layers.json BENCH_attack_engine.json \
+                BENCH_conv.json; do
   if [ -s "$build_dir/$artifact" ]; then
     echo "ok: $build_dir/$artifact"
   elif [ "$artifact" = BENCH_layers.json ] && [ "${ADV_OBS:-1}" = 0 ]; then
@@ -64,6 +65,30 @@ if [ -s "$build_dir/BENCH_attack_engine.json" ]; then
     echo "ok: attack engine speedup ${speedup}x (>= 2x)"
   else
     echo "FAIL: attack engine speedup ${speedup:-?}x < 2x" >&2
+    fail=1
+  fi
+fi
+
+# Direct-convolution gates (BENCH_conv.json): the direct microkernels
+# must reproduce the im2col path bit for bit on every benched shape
+# (forward, input grad, weight/bias grads — "identity": 1), and the
+# MagNet 3x3 "same" forwards must come out at least 2x faster than the
+# im2col fallback they replace.
+if [ -s "$build_dir/BENCH_conv.json" ]; then
+  conv_identity=$(sed -n 's/.*"identity": *\([0-9]*\),.*/\1/p' \
+                  "$build_dir/BENCH_conv.json" | head -n1)
+  if [ "${conv_identity:-0}" = 1 ]; then
+    echo "ok: direct conv bitwise-identical to im2col on all benched shapes"
+  else
+    echo "FAIL: direct conv diverges from im2col (identity != 1)" >&2
+    fail=1
+  fi
+  conv_speedup=$(sed -n 's/.*"min_same3x3_fwd_speedup": *\([0-9.]*\).*/\1/p' \
+                 "$build_dir/BENCH_conv.json")
+  if awk -v s="${conv_speedup:-0}" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "ok: MagNet 3x3 same-conv forward speedup ${conv_speedup}x (>= 2x)"
+  else
+    echo "FAIL: MagNet 3x3 same-conv forward speedup ${conv_speedup:-?}x < 2x" >&2
     fail=1
   fi
 fi
