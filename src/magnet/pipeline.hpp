@@ -21,6 +21,14 @@ enum class DefenseScheme { None, DetectorOnly, ReformerOnly, Full };
 
 const char* to_string(DefenseScheme s);
 
+/// Execution backend for classify(): the float models, or the per-channel
+/// int8 clones built by prepare_quantized() (DESIGN.md §17). Detector
+/// thresholds are always the float-calibrated ones — int8 changes the
+/// scores, never the decision rule, so threshold drift is measurable.
+enum class ExecMode { Float, Int8 };
+
+const char* to_string(ExecMode m);
+
 /// One detector's raw output on a batch: its name, calibrated threshold,
 /// and per-row scores. reject_row(i) reproduces the detector's decision
 /// (score > threshold) without re-running the models.
@@ -59,6 +67,8 @@ class Reformer {
   explicit Reformer(std::shared_ptr<nn::Sequential> autoencoder);
   Tensor reform(const Tensor& batch) const;
 
+  const std::shared_ptr<nn::Sequential>& autoencoder() const { return ae_; }
+
  private:
   std::shared_ptr<nn::Sequential> ae_;
 };
@@ -76,24 +86,47 @@ class MagNetPipeline {
   nn::Sequential& classifier() { return *classifier_; }
 
   /// Calibrates every detector's threshold at `fpr` on clean validation
-  /// images (MagNet's procedure).
+  /// images (MagNet's procedure). If int8 clones exist, their thresholds
+  /// are refreshed from the float calibration (the int8 path never
+  /// recalibrates — see ExecMode).
   void calibrate(const Tensor& clean_validation, float fpr);
+
+  /// Builds the per-channel int8 clones (quant::quantize) of the
+  /// classifier, the reformer's auto-encoder and every detector-consulted
+  /// model, calibrating activation scales on `calib`. Models shared
+  /// between stages (the reformer AE doubling as a detector AE, the
+  /// classifier inside JSD detectors) are cloned once and shared again.
+  /// Detector thresholds are copied from the float calibration.
+  void prepare_quantized(const Tensor& calib);
+
+  /// True once prepare_quantized() has run (required for ExecMode::Int8).
+  bool quantized_ready() const { return q_classifier_ != nullptr; }
 
   /// Runs the defense. Detectors must be calibrated when the scheme uses
   /// them; a Full/ReformerOnly scheme without a reformer degrades to the
   /// respective detector-only/no-defense behaviour. Const (and callable
   /// on a const pipeline): serving never mutates the defense.
+  /// ExecMode::Int8 requires a prior prepare_quantized() and throws
+  /// std::runtime_error otherwise.
   DefenseOutcome classify(const Tensor& batch,
-                          DefenseScheme scheme = DefenseScheme::Full) const;
+                          DefenseScheme scheme = DefenseScheme::Full,
+                          ExecMode mode = ExecMode::Float) const;
 
   /// Accuracy on clean data: fraction neither rejected nor misclassified.
   float clean_accuracy(const Tensor& images, const std::vector<int>& labels,
-                       DefenseScheme scheme = DefenseScheme::Full) const;
+                       DefenseScheme scheme = DefenseScheme::Full,
+                       ExecMode mode = ExecMode::Float) const;
 
  private:
   std::shared_ptr<nn::Sequential> classifier_;
   std::vector<std::shared_ptr<Detector>> detectors_;
   std::shared_ptr<Reformer> reformer_;
+  // Int8 execution bank (prepare_quantized): clones aligned 1:1 with the
+  // float members; q_detectors_[i] mirrors detectors_[i] with copied
+  // thresholds.
+  std::shared_ptr<nn::Sequential> q_classifier_;
+  std::vector<std::shared_ptr<Detector>> q_detectors_;
+  std::shared_ptr<Reformer> q_reformer_;
 };
 
 }  // namespace adv::magnet

@@ -30,6 +30,7 @@ class LeakyReLU final : public Layer {
   Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "LeakyReLU"; }
+  float negative_slope() const { return negative_slope_; }
 
  private:
   float negative_slope_;

@@ -14,6 +14,7 @@ class AvgPool2d final : public Layer {
   Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "AvgPool2d"; }
+  std::size_t window() const { return window_; }
 
  private:
   std::size_t window_;
@@ -26,6 +27,7 @@ class MaxPool2d final : public Layer {
   Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "MaxPool2d"; }
+  std::size_t window() const { return window_; }
 
  private:
   std::size_t window_;
@@ -40,6 +42,7 @@ class Upsample2d final : public Layer {
   Tensor forward(const Tensor& input, Mode mode) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Upsample2d"; }
+  std::size_t factor() const { return factor_; }
 
  private:
   std::size_t factor_;

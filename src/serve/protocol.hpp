@@ -75,6 +75,12 @@ inline constexpr std::size_t kDefaultMaxBodyBytes = 64ull << 20;
 inline constexpr std::size_t kMaxRowsPerRequest = 4096;
 
 enum class MessageType : std::uint8_t { Classify = 1, Ping = 2 };
+
+/// High bit of the classify scheme byte: execute the request on the int8
+/// pipeline (magnet::ExecMode::Int8). The low 7 bits stay the
+/// DefenseScheme, so pre-quantization encoders (which only ever wrote
+/// 0..3) decode as float execution — wire-compatible by construction.
+inline constexpr std::uint8_t kSchemeQuantBit = 0x80;
 enum class Status : std::uint8_t {
   Ok = 0,
   Error = 1,             // degraded mode: the daemon tried and failed
@@ -125,6 +131,9 @@ class RemoteClosedError : public IoError {
 struct Request {
   MessageType type = MessageType::Ping;
   magnet::DefenseScheme scheme = magnet::DefenseScheme::Full;
+  /// True when the classify scheme byte carried kSchemeQuantBit: the
+  /// client asked for int8 execution.
+  bool quantized = false;
   std::uint16_t deadline_ms = 0;  // 0 = no deadline
   Tensor batch;                   // Classify only
 };
@@ -141,9 +150,10 @@ struct ClassifyResponse {
 // --- below is the only part that touches a file descriptor) -------------
 
 /// deadline_ms is clamped to the u16 wire field; 0 means no deadline.
+/// `quantized` sets kSchemeQuantBit on the scheme byte (int8 execution).
 std::vector<std::uint8_t> encode_classify_request(
     magnet::DefenseScheme scheme, const Tensor& batch,
-    std::uint32_t deadline_ms = 0);
+    std::uint32_t deadline_ms = 0, bool quantized = false);
 std::vector<std::uint8_t> encode_ping_request();
 Request decode_request(std::span<const std::uint8_t> body);
 

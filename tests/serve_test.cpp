@@ -133,6 +133,23 @@ TEST_F(ServeTest, ClassifyRequestRoundTrips) {
             0);
 }
 
+TEST_F(ServeTest, QuantBitRoundTripsAndLegacyFramesDecodeFloat) {
+  const Tensor batch = rows_tensor(2, 0.25f);
+  // Marked frame: high bit set on the scheme byte, low bits intact.
+  const auto marked = encode_classify_request(DefenseScheme::Full, batch,
+                                              /*deadline_ms=*/0,
+                                              /*quantized=*/true);
+  const Request rq = decode_request(marked);
+  EXPECT_TRUE(rq.quantized);
+  EXPECT_EQ(rq.scheme, DefenseScheme::Full);
+  // Unmarked frame — exactly what pre-quantization encoders emitted —
+  // decodes as float execution (wire compatibility by construction).
+  const Request rf =
+      decode_request(encode_classify_request(DefenseScheme::Full, batch));
+  EXPECT_FALSE(rf.quantized);
+  EXPECT_EQ(rf.scheme, DefenseScheme::Full);
+}
+
 TEST_F(ServeTest, PingRequestRoundTrips) {
   const Request req = decode_request(encode_ping_request());
   EXPECT_EQ(req.type, MessageType::Ping);
@@ -266,6 +283,44 @@ TEST_F(ServeTest, MixedSchemesServedCorrectly) {
         batcher.submit(rows_tensor(1, 0.04f * i), schemes[i % 4]));
   }
   for (std::size_t i = 0; i < 16; ++i) {
+    const ServeResult r = futures[i].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(outcomes_bitwise_equal(r.outcome, serial[i])) << i;
+  }
+}
+
+TEST_F(ServeTest, MixedExecModesServedCorrectly) {
+  // One pipeline with a prepared int8 bank; float and int8 submissions
+  // interleave through one batcher and each must match its serial answer
+  // bitwise (the coalescing key includes the exec mode, so a batch never
+  // mixes banks).
+  auto clf = threshold_classifier();
+  auto ae = scaling_ae(0.5f);
+  auto pipe = std::make_shared<MagNetPipeline>(clf);
+  auto det = std::make_shared<magnet::ReconstructionDetector>(ae, 1);
+  det->set_threshold(0.2f);
+  pipe->add_detector(det);
+  pipe->set_reformer(std::make_shared<magnet::Reformer>(ae));
+  pipe->prepare_quantized(rows_tensor(8, 0.05f));
+  std::shared_ptr<const MagNetPipeline> cpipe = pipe;
+
+  std::vector<DefenseOutcome> serial;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto mode =
+        i % 2 == 0 ? magnet::ExecMode::Float : magnet::ExecMode::Int8;
+    serial.push_back(
+        cpipe->classify(rows_tensor(1, 0.04f * i), DefenseScheme::Full, mode));
+  }
+  MicroBatcher batcher([cpipe] { return cpipe; },
+                       {8, std::chrono::microseconds{1000}});
+  std::vector<std::future<ServeResult>> futures;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto mode =
+        i % 2 == 0 ? magnet::ExecMode::Float : magnet::ExecMode::Int8;
+    futures.push_back(
+        batcher.submit(rows_tensor(1, 0.04f * i), DefenseScheme::Full, mode));
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
     const ServeResult r = futures[i].get();
     ASSERT_TRUE(r.ok) << r.error;
     EXPECT_TRUE(outcomes_bitwise_equal(r.outcome, serial[i])) << i;
@@ -484,6 +539,67 @@ TEST_F(ServeTest, DaemonServesClassifyAndPing) {
     EXPECT_TRUE(outcomes_bitwise_equal(
         r.outcome, fx.pipe->classify(x, DefenseScheme::Full)));
   }
+}
+
+std::shared_ptr<const MagNetPipeline> build_quant_pipeline() {
+  auto clf = threshold_classifier();
+  auto ae = scaling_ae(0.5f);
+  auto pipe = std::make_shared<MagNetPipeline>(clf);
+  auto det = std::make_shared<magnet::ReconstructionDetector>(ae, 1);
+  det->set_threshold(0.2f);
+  pipe->add_detector(det);
+  pipe->set_reformer(std::make_shared<magnet::Reformer>(ae));
+  pipe->prepare_quantized(rows_tensor(8, 0.05f));
+  return pipe;
+}
+
+TEST_F(ServeTest, QuantizedAndFloatClassifyBothRoundTripOverWire) {
+  auto pipe = build_quant_pipeline();
+  ServeConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.batch = {4, std::chrono::microseconds{100}};
+  ServeDaemon daemon([pipe] { return pipe; }, cfg);
+  daemon.start();
+
+  ServeClient client(cfg.socket_path);
+  const Tensor x = rows_tensor(3, 0.15f);
+  const ClassifyResponse rf = client.classify(x, DefenseScheme::Full);
+  const ClassifyResponse ri =
+      client.classify(x, DefenseScheme::Full, /*deadline_ms=*/0,
+                      /*quantized=*/true);
+  ASSERT_TRUE(rf.ok) << rf.error;
+  ASSERT_TRUE(ri.ok) << ri.error;
+  // Both responses carry detector readings and match their serial bank.
+  EXPECT_FALSE(rf.outcome.readings.empty());
+  EXPECT_FALSE(ri.outcome.readings.empty());
+  EXPECT_TRUE(outcomes_bitwise_equal(
+      rf.outcome,
+      pipe->classify(x, DefenseScheme::Full, magnet::ExecMode::Float)));
+  EXPECT_TRUE(outcomes_bitwise_equal(
+      ri.outcome,
+      pipe->classify(x, DefenseScheme::Full, magnet::ExecMode::Int8)));
+  daemon.stop();
+}
+
+TEST_F(ServeTest, QuantDefaultModeAppliesToUnmarkedRequests) {
+  // serve_daemon --quant: unmarked requests follow the daemon default
+  // (int8 here); marked requests run int8 regardless.
+  auto pipe = build_quant_pipeline();
+  ServeConfig cfg;
+  cfg.socket_path = test_socket_path();
+  cfg.batch = {4, std::chrono::microseconds{100}};
+  cfg.default_mode = magnet::ExecMode::Int8;
+  ServeDaemon daemon([pipe] { return pipe; }, cfg);
+  daemon.start();
+
+  ServeClient client(cfg.socket_path);
+  const Tensor x = rows_tensor(2, 0.35f);
+  const ClassifyResponse unmarked = client.classify(x, DefenseScheme::Full);
+  ASSERT_TRUE(unmarked.ok) << unmarked.error;
+  EXPECT_TRUE(outcomes_bitwise_equal(
+      unmarked.outcome,
+      pipe->classify(x, DefenseScheme::Full, magnet::ExecMode::Int8)));
+  daemon.stop();
 }
 
 TEST_F(ServeTest, GarbageBytesDropConnectionCleanly) {
@@ -706,6 +822,7 @@ TEST_F(ServeTest, DeadlineExpiresInQueueWithoutForwardPass) {
   while (batcher.pending() != 0) std::this_thread::yield();
 
   auto doomed = batcher.submit(rows_tensor(1, 0.2f), DefenseScheme::Full,
+                               magnet::ExecMode::Float,
                                std::chrono::milliseconds(20));
   auto patient = batcher.submit(rows_tensor(1, 0.3f), DefenseScheme::Full);
   std::this_thread::sleep_for(std::chrono::milliseconds(60));  // budget gone
